@@ -1,0 +1,236 @@
+//! Control-and-status-register addresses and field layouts.
+//!
+//! Only the CSRs that the reference model, the DUT models and the bug
+//! scenarios touch are modelled. The set mirrors the registers the paper's
+//! checker tracks (`fcsr`, `fflags`, `frm`, `mstatus`, `mepc`, `mcause`,
+//! `mtval`/`stval`, `minstret`, `mcycle`, `misa`, `mtvec`).
+
+/// A CSR address (12 bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CsrAddr(pub u16);
+
+impl CsrAddr {
+    /// The raw 12-bit address.
+    #[must_use]
+    pub fn value(self) -> u16 {
+        self.0 & 0xFFF
+    }
+}
+
+impl std::fmt::Display for CsrAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match name(*self) {
+            Some(n) => f.write_str(n),
+            None => write!(f, "csr{:#05x}", self.0),
+        }
+    }
+}
+
+/// Floating-point accrued exception flags (`fflags`, CSR 0x001).
+pub const FFLAGS: CsrAddr = CsrAddr(0x001);
+/// Floating-point dynamic rounding mode (`frm`, CSR 0x002).
+pub const FRM: CsrAddr = CsrAddr(0x002);
+/// Floating-point control and status register (`fcsr`, CSR 0x003).
+pub const FCSR: CsrAddr = CsrAddr(0x003);
+/// Supervisor trap value register.
+pub const STVAL: CsrAddr = CsrAddr(0x143);
+/// Supervisor trap cause.
+pub const SCAUSE: CsrAddr = CsrAddr(0x142);
+/// Supervisor exception program counter.
+pub const SEPC: CsrAddr = CsrAddr(0x141);
+/// Machine status register.
+pub const MSTATUS: CsrAddr = CsrAddr(0x300);
+/// Machine ISA register.
+pub const MISA: CsrAddr = CsrAddr(0x301);
+/// Machine trap-vector base address.
+pub const MTVEC: CsrAddr = CsrAddr(0x305);
+/// Machine exception program counter.
+pub const MEPC: CsrAddr = CsrAddr(0x341);
+/// Machine trap cause.
+pub const MCAUSE: CsrAddr = CsrAddr(0x342);
+/// Machine trap value.
+pub const MTVAL: CsrAddr = CsrAddr(0x343);
+/// Machine cycle counter.
+pub const MCYCLE: CsrAddr = CsrAddr(0xB00);
+/// Machine retired-instruction counter.
+pub const MINSTRET: CsrAddr = CsrAddr(0xB02);
+/// Cycle counter (read-only shadow).
+pub const CYCLE: CsrAddr = CsrAddr(0xC00);
+/// Retired-instruction counter (read-only shadow).
+pub const INSTRET: CsrAddr = CsrAddr(0xC02);
+
+/// CSRs the fuzzer is allowed to target when generating `Zicsr` instructions.
+/// Restricting the set keeps generated programs recoverable (no writes to
+/// `mtvec`-like registers that would derail execution) while still exercising
+/// the CSR datapath, matching the paper's template-based exception handling.
+pub const FUZZABLE: &[CsrAddr] = &[
+    FFLAGS, FRM, FCSR, MSTATUS, MEPC, MCAUSE, MTVAL, STVAL, MCYCLE, MINSTRET,
+];
+
+/// All modelled CSRs.
+pub const ALL: &[CsrAddr] = &[
+    FFLAGS, FRM, FCSR, STVAL, SCAUSE, SEPC, MSTATUS, MISA, MTVEC, MEPC, MCAUSE, MTVAL, MCYCLE,
+    MINSTRET, CYCLE, INSTRET,
+];
+
+/// Symbolic name of a modelled CSR, if it is one of the known addresses.
+#[must_use]
+pub fn name(addr: CsrAddr) -> Option<&'static str> {
+    Some(match addr {
+        FFLAGS => "fflags",
+        FRM => "frm",
+        FCSR => "fcsr",
+        STVAL => "stval",
+        SCAUSE => "scause",
+        SEPC => "sepc",
+        MSTATUS => "mstatus",
+        MISA => "misa",
+        MTVEC => "mtvec",
+        MEPC => "mepc",
+        MCAUSE => "mcause",
+        MTVAL => "mtval",
+        MCYCLE => "mcycle",
+        MINSTRET => "minstret",
+        CYCLE => "cycle",
+        INSTRET => "instret",
+        _ => return None,
+    })
+}
+
+/// Bit positions of the accrued floating-point exception flags inside
+/// `fflags` / `fcsr[4:0]`.
+pub mod fflags {
+    /// Inexact.
+    pub const NX: u64 = 1 << 0;
+    /// Underflow.
+    pub const UF: u64 = 1 << 1;
+    /// Overflow.
+    pub const OF: u64 = 1 << 2;
+    /// Divide by zero.
+    pub const DZ: u64 = 1 << 3;
+    /// Invalid operation.
+    pub const NV: u64 = 1 << 4;
+    /// Mask covering every flag.
+    pub const MASK: u64 = 0x1F;
+}
+
+/// Field layout of `fcsr`: flags in bits 4:0, rounding mode in bits 7:5.
+pub mod fcsr {
+    /// Extract the accrued exception flags.
+    #[must_use]
+    pub fn flags(value: u64) -> u64 {
+        value & super::fflags::MASK
+    }
+
+    /// Extract the dynamic rounding mode field.
+    #[must_use]
+    pub fn frm(value: u64) -> u8 {
+        ((value >> 5) & 0b111) as u8
+    }
+
+    /// Compose an `fcsr` value from flags and rounding mode.
+    #[must_use]
+    pub fn compose(flags: u64, frm: u8) -> u64 {
+        (flags & super::fflags::MASK) | ((u64::from(frm) & 0b111) << 5)
+    }
+}
+
+/// Exception causes used by the trap model (subset of the privileged spec).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Cause {
+    /// Instruction address misaligned.
+    InstructionMisaligned,
+    /// Illegal instruction.
+    IllegalInstruction,
+    /// Breakpoint (`ebreak`).
+    Breakpoint,
+    /// Load address misaligned.
+    LoadMisaligned,
+    /// Load access fault.
+    LoadFault,
+    /// Store address misaligned.
+    StoreMisaligned,
+    /// Store access fault.
+    StoreFault,
+    /// Environment call (`ecall`).
+    EnvironmentCall,
+}
+
+impl Cause {
+    /// Numeric cause code as written to `mcause`.
+    #[must_use]
+    pub fn code(self) -> u64 {
+        match self {
+            Cause::InstructionMisaligned => 0,
+            Cause::IllegalInstruction => 2,
+            Cause::Breakpoint => 3,
+            Cause::LoadMisaligned => 4,
+            Cause::LoadFault => 5,
+            Cause::StoreMisaligned => 6,
+            Cause::StoreFault => 7,
+            Cause::EnvironmentCall => 11,
+        }
+    }
+}
+
+impl std::fmt::Display for Cause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Cause::InstructionMisaligned => "instruction address misaligned",
+            Cause::IllegalInstruction => "illegal instruction",
+            Cause::Breakpoint => "breakpoint",
+            Cause::LoadMisaligned => "load address misaligned",
+            Cause::LoadFault => "load access fault",
+            Cause::StoreMisaligned => "store address misaligned",
+            Cause::StoreFault => "store access fault",
+            Cause::EnvironmentCall => "environment call",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_names_resolve() {
+        assert_eq!(name(FCSR), Some("fcsr"));
+        assert_eq!(name(MINSTRET), Some("minstret"));
+        assert_eq!(name(CsrAddr(0x7C0)), None);
+    }
+
+    #[test]
+    fn every_modelled_csr_has_a_name() {
+        for &addr in ALL {
+            assert!(name(addr).is_some(), "{addr:?} has no name");
+        }
+    }
+
+    #[test]
+    fn fuzzable_is_subset_of_all() {
+        for addr in FUZZABLE {
+            assert!(ALL.contains(addr));
+        }
+    }
+
+    #[test]
+    fn fcsr_compose_round_trip() {
+        let v = fcsr::compose(fflags::DZ | fflags::NX, 0b010);
+        assert_eq!(fcsr::flags(v), fflags::DZ | fflags::NX);
+        assert_eq!(fcsr::frm(v), 0b010);
+    }
+
+    #[test]
+    fn cause_codes_match_privileged_spec() {
+        assert_eq!(Cause::IllegalInstruction.code(), 2);
+        assert_eq!(Cause::Breakpoint.code(), 3);
+        assert_eq!(Cause::EnvironmentCall.code(), 11);
+    }
+
+    #[test]
+    fn display_uses_symbolic_names() {
+        assert_eq!(FCSR.to_string(), "fcsr");
+        assert_eq!(CsrAddr(0x7C0).to_string(), "csr0x7c0");
+    }
+}

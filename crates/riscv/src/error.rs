@@ -1,0 +1,109 @@
+//! Error type shared by the encoding/decoding and validation paths.
+
+use std::fmt;
+
+/// Errors produced while constructing, encoding or decoding RV64
+/// instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RiscvError {
+    /// A register index outside `0..32` was supplied.
+    InvalidRegisterIndex {
+        /// The offending index.
+        index: u8,
+    },
+    /// An immediate does not fit the field of the requested instruction
+    /// format.
+    ImmediateOutOfRange {
+        /// Mnemonic of the instruction being encoded.
+        mnemonic: &'static str,
+        /// The offending immediate value.
+        value: i64,
+        /// Number of bits available in the encoding.
+        bits: u32,
+    },
+    /// An immediate violates an alignment constraint (branch and jump
+    /// offsets must be even; this crate only emits 4-byte aligned targets).
+    MisalignedImmediate {
+        /// Mnemonic of the instruction being encoded.
+        mnemonic: &'static str,
+        /// The offending immediate value.
+        value: i64,
+        /// Required alignment in bytes.
+        alignment: u64,
+    },
+    /// The 32-bit word does not decode to any supported instruction.
+    UnknownEncoding {
+        /// The raw machine word.
+        word: u32,
+    },
+    /// The instruction uses a reserved rounding-mode encoding.
+    InvalidRoundingMode {
+        /// The raw 3-bit `rm` field.
+        bits: u8,
+    },
+    /// An operand required by the instruction format was not provided, or an
+    /// operand not used by the format was provided.
+    MalformedOperands {
+        /// Mnemonic of the instruction.
+        mnemonic: &'static str,
+        /// Human readable description of the problem.
+        detail: &'static str,
+    },
+}
+
+impl fmt::Display for RiscvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RiscvError::InvalidRegisterIndex { index } => {
+                write!(f, "register index {index} is out of range (0..32)")
+            }
+            RiscvError::ImmediateOutOfRange {
+                mnemonic,
+                value,
+                bits,
+            } => write!(
+                f,
+                "immediate {value} does not fit in the {bits}-bit field of `{mnemonic}`"
+            ),
+            RiscvError::MisalignedImmediate {
+                mnemonic,
+                value,
+                alignment,
+            } => write!(
+                f,
+                "immediate {value} of `{mnemonic}` is not aligned to {alignment} bytes"
+            ),
+            RiscvError::UnknownEncoding { word } => {
+                write!(f, "word {word:#010x} is not a supported rv64 instruction")
+            }
+            RiscvError::InvalidRoundingMode { bits } => {
+                write!(f, "rounding mode encoding {bits:#05b} is reserved")
+            }
+            RiscvError::MalformedOperands { mnemonic, detail } => {
+                write!(f, "malformed operands for `{mnemonic}`: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RiscvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let err = RiscvError::InvalidRegisterIndex { index: 40 };
+        let msg = err.to_string();
+        assert!(msg.starts_with("register index"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RiscvError>();
+    }
+}

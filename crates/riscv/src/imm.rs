@@ -1,0 +1,167 @@
+//! Immediate helpers: sign extension, branch/jump offset wrappers.
+
+use crate::RiscvError;
+
+/// Sign-extend the low `bits` bits of `value` to 64 bits.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero or greater than 64.
+#[must_use]
+pub fn sign_extend(value: u64, bits: u32) -> i64 {
+    assert!(bits > 0 && bits <= 64, "bit width must be in 1..=64");
+    if bits == 64 {
+        return value as i64;
+    }
+    let shift = 64 - bits;
+    ((value << shift) as i64) >> shift
+}
+
+/// Check that `value` fits in a signed immediate field of `bits` bits.
+#[must_use]
+pub fn fits_signed(value: i64, bits: u32) -> bool {
+    debug_assert!(bits > 0 && bits <= 64);
+    if bits == 64 {
+        return true;
+    }
+    let min = -(1i64 << (bits - 1));
+    let max = (1i64 << (bits - 1)) - 1;
+    value >= min && value <= max
+}
+
+/// Check that `value` fits in an unsigned immediate field of `bits` bits.
+#[must_use]
+pub fn fits_unsigned(value: u64, bits: u32) -> bool {
+    debug_assert!(bits > 0 && bits <= 64);
+    if bits == 64 {
+        return true;
+    }
+    value < (1u64 << bits)
+}
+
+/// A validated B-type branch offset: 13-bit signed, 2-byte aligned (we only
+/// ever emit 4-byte aligned targets because the corpus stores whole 32-bit
+/// instructions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct BranchOffset(i64);
+
+impl BranchOffset {
+    /// Number of encodable bits (including the implicit low zero bit).
+    pub const BITS: u32 = 13;
+
+    /// Create a branch offset, validating range and alignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RiscvError::ImmediateOutOfRange`] when the offset does not
+    /// fit in 13 signed bits, and [`RiscvError::MisalignedImmediate`] when it
+    /// is not 4-byte aligned.
+    pub fn new(offset: i64) -> Result<Self, RiscvError> {
+        if !fits_signed(offset, Self::BITS) {
+            return Err(RiscvError::ImmediateOutOfRange {
+                mnemonic: "branch",
+                value: offset,
+                bits: Self::BITS,
+            });
+        }
+        if offset % 4 != 0 {
+            return Err(RiscvError::MisalignedImmediate {
+                mnemonic: "branch",
+                value: offset,
+                alignment: 4,
+            });
+        }
+        Ok(BranchOffset(offset))
+    }
+
+    /// The raw byte offset.
+    #[must_use]
+    pub fn value(self) -> i64 {
+        self.0
+    }
+}
+
+/// A validated J-type jump offset: 21-bit signed, 4-byte aligned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct JumpOffset(i64);
+
+impl JumpOffset {
+    /// Number of encodable bits (including the implicit low zero bit).
+    pub const BITS: u32 = 21;
+
+    /// Create a jump offset, validating range and alignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RiscvError::ImmediateOutOfRange`] when the offset does not
+    /// fit in 21 signed bits, and [`RiscvError::MisalignedImmediate`] when it
+    /// is not 4-byte aligned.
+    pub fn new(offset: i64) -> Result<Self, RiscvError> {
+        if !fits_signed(offset, Self::BITS) {
+            return Err(RiscvError::ImmediateOutOfRange {
+                mnemonic: "jal",
+                value: offset,
+                bits: Self::BITS,
+            });
+        }
+        if offset % 4 != 0 {
+            return Err(RiscvError::MisalignedImmediate {
+                mnemonic: "jal",
+                value: offset,
+                alignment: 4,
+            });
+        }
+        Ok(JumpOffset(offset))
+    }
+
+    /// The raw byte offset.
+    #[must_use]
+    pub fn value(self) -> i64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_extension_basic() {
+        assert_eq!(sign_extend(0xFFF, 12), -1);
+        assert_eq!(sign_extend(0x7FF, 12), 2047);
+        assert_eq!(sign_extend(0x800, 12), -2048);
+        assert_eq!(sign_extend(0x0, 12), 0);
+        assert_eq!(sign_extend(u64::MAX, 64), -1);
+    }
+
+    #[test]
+    fn signed_fit() {
+        assert!(fits_signed(2047, 12));
+        assert!(!fits_signed(2048, 12));
+        assert!(fits_signed(-2048, 12));
+        assert!(!fits_signed(-2049, 12));
+    }
+
+    #[test]
+    fn unsigned_fit() {
+        assert!(fits_unsigned(31, 5));
+        assert!(!fits_unsigned(32, 5));
+        assert!(fits_unsigned(u64::MAX, 64));
+    }
+
+    #[test]
+    fn branch_offset_bounds() {
+        assert!(BranchOffset::new(4092).is_ok());
+        assert!(BranchOffset::new(-4096).is_ok());
+        assert!(BranchOffset::new(4096).is_err());
+        assert!(BranchOffset::new(2).is_err());
+    }
+
+    #[test]
+    fn jump_offset_bounds() {
+        assert!(JumpOffset::new((1 << 20) - 4).is_ok());
+        assert!(JumpOffset::new(-(1 << 20)).is_ok());
+        assert!(JumpOffset::new(1 << 20).is_err());
+        assert!(JumpOffset::new(6).is_err());
+    }
+}

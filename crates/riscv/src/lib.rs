@@ -1,0 +1,159 @@
+//! RV64 instruction-set substrate for the TurboFuzz reproduction.
+//!
+//! This crate provides everything the fuzzer, the processor models and the
+//! workload generators need to talk about RISC-V instructions:
+//!
+//! * [`Opcode`] — every supported mnemonic of RV64 I/M/A/F/D/Zicsr together
+//!   with its encoding metadata ([`Format`], [`Extension`]).
+//! * [`Instruction`] — a decoded instruction (opcode + operands) that can be
+//!   encoded to its 32-bit machine form with [`Instruction::encode`] and
+//!   recovered with [`Instruction::decode`].
+//! * [`Gpr`] / [`Fpr`] — newtypes for integer and floating-point register
+//!   indices.
+//! * [`csr`] — control-and-status-register addresses and field layouts used
+//!   by the reference model and by the coverage models.
+//! * [`InstructionLibrary`] — the dynamically configurable instruction
+//!   repository from which the TurboFuzzer draws prime instructions
+//!   (paper §IV-B2: categories can be activated or deactivated at run time).
+//!
+//! # Example
+//!
+//! ```
+//! use tf_riscv::{Instruction, Opcode, Gpr};
+//!
+//! # fn main() -> Result<(), tf_riscv::RiscvError> {
+//! let add = Instruction::r_type(Opcode::Add, Gpr::new(1)?, Gpr::new(2)?, Gpr::new(3)?);
+//! let word = add.encode()?;
+//! let back = Instruction::decode(word)?;
+//! assert_eq!(add, back);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod disasm;
+mod error;
+mod imm;
+mod insn;
+mod library;
+mod opcode;
+mod regs;
+
+pub mod csr;
+
+pub use error::RiscvError;
+pub use imm::{sign_extend, BranchOffset, JumpOffset};
+pub use insn::Instruction;
+pub use library::{InstructionLibrary, LibraryConfig};
+pub use opcode::{Extension, Format, Opcode};
+pub use regs::{Fpr, Gpr, FPR_COUNT, GPR_COUNT};
+
+/// Width in bytes of every (non-compressed) RV64 instruction handled by this
+/// crate.
+pub const INSTRUCTION_BYTES: u64 = 4;
+
+/// Floating-point rounding modes as encoded in the `rm` field of FP
+/// instructions and in `fcsr.frm`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RoundingMode {
+    /// Round to nearest, ties to even.
+    Rne,
+    /// Round towards zero.
+    Rtz,
+    /// Round down (towards negative infinity).
+    Rdn,
+    /// Round up (towards positive infinity).
+    Rup,
+    /// Round to nearest, ties to max magnitude.
+    Rmm,
+    /// Use the dynamic rounding mode held in `fcsr.frm`.
+    Dyn,
+}
+
+impl RoundingMode {
+    /// All static rounding modes (excluding [`RoundingMode::Dyn`]).
+    pub const STATIC: [RoundingMode; 5] = [
+        RoundingMode::Rne,
+        RoundingMode::Rtz,
+        RoundingMode::Rdn,
+        RoundingMode::Rup,
+        RoundingMode::Rmm,
+    ];
+
+    /// Encode the rounding mode into the 3-bit `rm` field.
+    #[must_use]
+    pub fn to_bits(self) -> u8 {
+        match self {
+            RoundingMode::Rne => 0b000,
+            RoundingMode::Rtz => 0b001,
+            RoundingMode::Rdn => 0b010,
+            RoundingMode::Rup => 0b011,
+            RoundingMode::Rmm => 0b100,
+            RoundingMode::Dyn => 0b111,
+        }
+    }
+
+    /// Decode a 3-bit `rm` field.
+    ///
+    /// Returns `None` for the reserved encodings `0b101` and `0b110`, which
+    /// the paper's bug B2 scenario exercises ("FP instruction with invalid
+    /// `frm` does not raise an exception").
+    #[must_use]
+    pub fn from_bits(bits: u8) -> Option<Self> {
+        match bits & 0b111 {
+            0b000 => Some(RoundingMode::Rne),
+            0b001 => Some(RoundingMode::Rtz),
+            0b010 => Some(RoundingMode::Rdn),
+            0b011 => Some(RoundingMode::Rup),
+            0b100 => Some(RoundingMode::Rmm),
+            0b111 => Some(RoundingMode::Dyn),
+            _ => None,
+        }
+    }
+}
+
+impl Default for RoundingMode {
+    fn default() -> Self {
+        RoundingMode::Rne
+    }
+}
+
+impl std::fmt::Display for RoundingMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RoundingMode::Rne => "rne",
+            RoundingMode::Rtz => "rtz",
+            RoundingMode::Rdn => "rdn",
+            RoundingMode::Rup => "rup",
+            RoundingMode::Rmm => "rmm",
+            RoundingMode::Dyn => "dyn",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounding_mode_round_trips() {
+        for rm in RoundingMode::STATIC {
+            assert_eq!(RoundingMode::from_bits(rm.to_bits()), Some(rm));
+        }
+        assert_eq!(RoundingMode::from_bits(0b111), Some(RoundingMode::Dyn));
+    }
+
+    #[test]
+    fn reserved_rounding_modes_rejected() {
+        assert_eq!(RoundingMode::from_bits(0b101), None);
+        assert_eq!(RoundingMode::from_bits(0b110), None);
+    }
+
+    #[test]
+    fn default_rounding_mode_is_rne() {
+        assert_eq!(RoundingMode::default(), RoundingMode::Rne);
+    }
+}

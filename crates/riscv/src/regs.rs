@@ -1,0 +1,179 @@
+//! Register-index newtypes.
+
+use crate::RiscvError;
+use std::fmt;
+
+/// Number of architectural integer registers.
+pub const GPR_COUNT: u8 = 32;
+/// Number of architectural floating-point registers.
+pub const FPR_COUNT: u8 = 32;
+
+/// Index of an integer (x) register, guaranteed to be in `0..32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Gpr(u8);
+
+/// Index of a floating-point (f) register, guaranteed to be in `0..32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Fpr(u8);
+
+impl Gpr {
+    /// The hard-wired zero register `x0`.
+    pub const ZERO: Gpr = Gpr(0);
+    /// The standard return-address register `x1` (`ra`).
+    pub const RA: Gpr = Gpr(1);
+    /// The stack pointer `x2` (`sp`).
+    pub const SP: Gpr = Gpr(2);
+
+    /// Create a register index, validating that it is below 32.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RiscvError::InvalidRegisterIndex`] when `index >= 32`.
+    pub fn new(index: u8) -> Result<Self, RiscvError> {
+        if index < GPR_COUNT {
+            Ok(Gpr(index))
+        } else {
+            Err(RiscvError::InvalidRegisterIndex { index })
+        }
+    }
+
+    /// Create a register index, wrapping values modulo 32.
+    ///
+    /// Useful for generators that already produce pseudo-random bytes.
+    #[must_use]
+    pub fn wrapping(index: u8) -> Self {
+        Gpr(index % GPR_COUNT)
+    }
+
+    /// The raw index in `0..32`.
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// True when the register is the hard-wired zero register.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterator over every integer register.
+    pub fn all() -> impl Iterator<Item = Gpr> {
+        (0..GPR_COUNT).map(Gpr)
+    }
+}
+
+impl Fpr {
+    /// Create a register index, validating that it is below 32.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RiscvError::InvalidRegisterIndex`] when `index >= 32`.
+    pub fn new(index: u8) -> Result<Self, RiscvError> {
+        if index < FPR_COUNT {
+            Ok(Fpr(index))
+        } else {
+            Err(RiscvError::InvalidRegisterIndex { index })
+        }
+    }
+
+    /// Create a register index, wrapping values modulo 32.
+    #[must_use]
+    pub fn wrapping(index: u8) -> Self {
+        Fpr(index % FPR_COUNT)
+    }
+
+    /// The raw index in `0..32`.
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Iterator over every floating-point register.
+    pub fn all() -> impl Iterator<Item = Fpr> {
+        (0..FPR_COUNT).map(Fpr)
+    }
+}
+
+impl fmt::Display for Gpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl fmt::Display for Fpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl From<Gpr> for u8 {
+    fn from(value: Gpr) -> Self {
+        value.0
+    }
+}
+
+impl From<Fpr> for u8 {
+    fn from(value: Fpr) -> Self {
+        value.0
+    }
+}
+
+impl TryFrom<u8> for Gpr {
+    type Error = RiscvError;
+
+    fn try_from(value: u8) -> Result<Self, Self::Error> {
+        Gpr::new(value)
+    }
+}
+
+impl TryFrom<u8> for Fpr {
+    type Error = RiscvError;
+
+    fn try_from(value: u8) -> Result<Self, Self::Error> {
+        Fpr::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpr_bounds() {
+        assert!(Gpr::new(0).is_ok());
+        assert!(Gpr::new(31).is_ok());
+        assert!(Gpr::new(32).is_err());
+        assert!(Gpr::new(255).is_err());
+    }
+
+    #[test]
+    fn fpr_bounds() {
+        assert!(Fpr::new(31).is_ok());
+        assert!(Fpr::new(32).is_err());
+    }
+
+    #[test]
+    fn wrapping_is_modulo() {
+        assert_eq!(Gpr::wrapping(33).index(), 1);
+        assert_eq!(Fpr::wrapping(64).index(), 0);
+    }
+
+    #[test]
+    fn zero_register() {
+        assert!(Gpr::ZERO.is_zero());
+        assert!(!Gpr::RA.is_zero());
+    }
+
+    #[test]
+    fn all_yields_32() {
+        assert_eq!(Gpr::all().count(), 32);
+        assert_eq!(Fpr::all().count(), 32);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Gpr::new(5).unwrap().to_string(), "x5");
+        assert_eq!(Fpr::new(7).unwrap().to_string(), "f7");
+    }
+}
