@@ -5,15 +5,34 @@
 //! checker tracks (`fcsr`, `fflags`, `frm`, `mstatus`, `mepc`, `mcause`,
 //! `mtval`/`stval`, `minstret`, `mcycle`, `misa`, `mtvec`).
 
-/// A CSR address (12 bits).
+use crate::RiscvError;
+
+/// A CSR address, guaranteed to be within the 12-bit address space.
+///
+/// Construct with [`CsrAddr::new`]; the inner value is crate-private so the
+/// validation cannot be bypassed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct CsrAddr(pub u16);
+pub struct CsrAddr(pub(crate) u16);
 
 impl CsrAddr {
+    /// Create a CSR address, validating that it fits the 12-bit address
+    /// space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RiscvError::InvalidCsrAddress`] when `addr >= 0x1000`.
+    pub fn new(addr: u16) -> Result<Self, RiscvError> {
+        if addr < 0x1000 {
+            Ok(CsrAddr(addr))
+        } else {
+            Err(RiscvError::InvalidCsrAddress { addr })
+        }
+    }
+
     /// The raw 12-bit address.
     #[must_use]
     pub fn value(self) -> u16 {
-        self.0 & 0xFFF
+        self.0
     }
 }
 
@@ -192,6 +211,16 @@ impl std::fmt::Display for Cause {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn new_validates_address_space() {
+        assert_eq!(CsrAddr::new(0x003), Ok(FCSR));
+        assert_eq!(CsrAddr::new(0xFFF), Ok(CsrAddr(0xFFF)));
+        assert_eq!(
+            CsrAddr::new(0x1000),
+            Err(RiscvError::InvalidCsrAddress { addr: 0x1000 })
+        );
+    }
 
     #[test]
     fn csr_names_resolve() {

@@ -1,0 +1,285 @@
+//! A readable disassembler: `Display` for [`Instruction`].
+//!
+//! Output follows the common assembler syntax (`addi x1, x2, -1`,
+//! `lw x1, 8(x2)`, `amoadd.w.aqrl x5, x6, (x7)`), with CSRs printed by
+//! their symbolic names when known. Test assertions and future trace
+//! logging both rely on this rendering, so it stays deterministic and free
+//! of padding.
+
+use crate::insn::Instruction;
+use crate::opcode::{Format, Opcode};
+use crate::RoundingMode;
+use std::fmt;
+
+/// One of the `iorw` ordering sets of a `fence`.
+fn fence_set(bits: i64) -> String {
+    if bits == 0 {
+        return "0".to_string();
+    }
+    let mut s = String::new();
+    for (bit, c) in [(3, 'i'), (2, 'o'), (1, 'r'), (0, 'w')] {
+        if bits >> bit & 1 != 0 {
+            s.push(c);
+        }
+    }
+    s
+}
+
+/// Render a register operand with its class prefix.
+fn reg(is_fpr: bool, index: u8) -> String {
+    if is_fpr {
+        format!("f{index}")
+    } else {
+        format!("x{index}")
+    }
+}
+
+/// Append `, rm` unless the mode is dynamic, matching the assembler
+/// convention of leaving the default implicit.
+fn rm_suffix(rm: Option<RoundingMode>) -> String {
+    match rm {
+        Some(m) if m != RoundingMode::Dyn => format!(", {m}"),
+        _ => String::new(),
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = self.opcode();
+        let m = op.mnemonic();
+        let rd = reg(op.rd_is_fpr(), self.rd());
+        let rs1 = reg(op.rs1_is_fpr(), self.rs1());
+        let rs2 = reg(op.rs2_is_fpr(), self.rs2());
+        let imm = self.imm();
+        match op.format() {
+            Format::R | Format::Fp => write!(f, "{m} {rd}, {rs1}, {rs2}"),
+            Format::I if op.is_load() || op == Opcode::Jalr => {
+                write!(f, "{m} {rd}, {imm}({rs1})")
+            }
+            Format::I => write!(f, "{m} {rd}, {rs1}, {imm}"),
+            Format::FpLoad => write!(f, "{m} {rd}, {imm}({rs1})"),
+            Format::S | Format::FpStore => write!(f, "{m} {rs2}, {imm}({rs1})"),
+            Format::B => write!(f, "{m} {rs1}, {rs2}, {imm}"),
+            // The stored immediate is sign-extended; print the 20-bit field
+            // value so the operand is valid assembler syntax.
+            Format::U => write!(f, "{m} {rd}, {:#x}", imm & 0xF_FFFF),
+            Format::J => write!(f, "{m} {rd}, {imm}"),
+            Format::Shamt | Format::ShamtW => write!(f, "{m} {rd}, {rs1}, {imm}"),
+            Format::Fence => {
+                write!(
+                    f,
+                    "{m} {}, {}",
+                    fence_set(imm >> 4 & 0xF),
+                    fence_set(imm & 0xF)
+                )
+            }
+            Format::System => f.write_str(m),
+            Format::Csr => {
+                let csr = self.csr_addr().expect("csr format carries an address");
+                write!(f, "{m} {rd}, {csr}, {rs1}")
+            }
+            Format::CsrImm => {
+                let csr = self.csr_addr().expect("csr format carries an address");
+                write!(f, "{m} {rd}, {csr}, {}", self.rs1())
+            }
+            Format::Amo => {
+                let order = match (self.aq(), self.rl()) {
+                    (false, false) => "",
+                    (true, false) => ".aq",
+                    (false, true) => ".rl",
+                    (true, true) => ".aqrl",
+                };
+                if op.encoding().rs2.is_some() {
+                    // Load-reserved has no rs2 operand.
+                    write!(f, "{m}{order} {rd}, ({rs1})")
+                } else {
+                    write!(f, "{m}{order} {rd}, {rs2}, ({rs1})")
+                }
+            }
+            Format::R4 => {
+                let rs3 = reg(true, self.rs3());
+                write!(f, "{m} {rd}, {rs1}, {rs2}, {rs3}{}", rm_suffix(self.rm()))
+            }
+            Format::FpUnary => write!(f, "{m} {rd}, {rs1}{}", rm_suffix(self.rm())),
+        }?;
+        // Arithmetic Fp two-source ops carry an rm; comparisons do not.
+        if matches!(op.format(), Format::Fp) {
+            f.write_str(&rm_suffix(self.rm()))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::imm::{BranchOffset, JumpOffset};
+    use crate::{csr, Fpr, Gpr, Instruction, Opcode, Reg, RoundingMode};
+
+    fn x(i: u8) -> Gpr {
+        Gpr::new(i).unwrap()
+    }
+
+    fn fr(i: u8) -> Fpr {
+        Fpr::new(i).unwrap()
+    }
+
+    #[test]
+    fn integer_forms() {
+        assert_eq!(
+            Instruction::r_type(Opcode::Add, x(1), x(2), x(3)).to_string(),
+            "add x1, x2, x3"
+        );
+        assert_eq!(
+            Instruction::i_type(Opcode::Addi, x(1), x(2), -1)
+                .unwrap()
+                .to_string(),
+            "addi x1, x2, -1"
+        );
+        assert_eq!(
+            Instruction::i_type(Opcode::Lw, x(1), x(2), 8)
+                .unwrap()
+                .to_string(),
+            "lw x1, 8(x2)"
+        );
+        assert_eq!(
+            Instruction::i_type(Opcode::Jalr, x(1), x(2), 4)
+                .unwrap()
+                .to_string(),
+            "jalr x1, 4(x2)"
+        );
+        assert_eq!(
+            Instruction::s_type(Opcode::Sd, x(2), x(3), 8)
+                .unwrap()
+                .to_string(),
+            "sd x3, 8(x2)"
+        );
+        assert_eq!(
+            Instruction::b_type(Opcode::Beq, x(1), x(2), BranchOffset::new(-16).unwrap())
+                .to_string(),
+            "beq x1, x2, -16"
+        );
+        assert_eq!(
+            Instruction::u_type(Opcode::Lui, x(5), 0x12345)
+                .unwrap()
+                .to_string(),
+            "lui x5, 0x12345"
+        );
+        // Sign-extended storage must still print as the 20-bit field value.
+        assert_eq!(
+            Instruction::u_type(Opcode::Lui, x(1), -1)
+                .unwrap()
+                .to_string(),
+            "lui x1, 0xfffff"
+        );
+        assert_eq!(
+            Instruction::j_type(Opcode::Jal, x(1), JumpOffset::new(2048).unwrap()).to_string(),
+            "jal x1, 2048"
+        );
+        assert_eq!(
+            Instruction::shift(Opcode::Srai, x(1), x(2), 63)
+                .unwrap()
+                .to_string(),
+            "srai x1, x2, 63"
+        );
+        assert_eq!(Instruction::system(Opcode::Ecall).to_string(), "ecall");
+        assert_eq!(
+            Instruction::fence(0xF, 0x3).unwrap().to_string(),
+            "fence iorw, rw"
+        );
+    }
+
+    #[test]
+    fn csr_forms_use_symbolic_names() {
+        assert_eq!(
+            Instruction::csr_reg(Opcode::Csrrw, x(1), csr::FCSR, x(2))
+                .unwrap()
+                .to_string(),
+            "csrrw x1, fcsr, x2"
+        );
+        assert_eq!(
+            Instruction::csr_imm(Opcode::Csrrwi, x(1), csr::FRM, 5)
+                .unwrap()
+                .to_string(),
+            "csrrwi x1, frm, 5"
+        );
+    }
+
+    #[test]
+    fn amo_forms_show_ordering() {
+        assert_eq!(
+            Instruction::amo(Opcode::AmoaddW, x(5), x(7), x(6), false, false)
+                .unwrap()
+                .to_string(),
+            "amoadd.w x5, x6, (x7)"
+        );
+        assert_eq!(
+            Instruction::amo(Opcode::AmoswapD, x(5), x(7), x(6), true, true)
+                .unwrap()
+                .to_string(),
+            "amoswap.d.aqrl x5, x6, (x7)"
+        );
+        assert_eq!(
+            Instruction::amo(Opcode::LrW, x(5), x(7), Gpr::ZERO, true, false)
+                .unwrap()
+                .to_string(),
+            "lr.w.aq x5, (x7)"
+        );
+    }
+
+    #[test]
+    fn fp_forms() {
+        assert_eq!(
+            Instruction::fp_r_type(Opcode::FaddD, fr(1), fr(2), fr(3), Some(RoundingMode::Rne))
+                .unwrap()
+                .to_string(),
+            "fadd.d f1, f2, f3, rne"
+        );
+        assert_eq!(
+            Instruction::fp_r_type(Opcode::FaddD, fr(1), fr(2), fr(3), Some(RoundingMode::Dyn))
+                .unwrap()
+                .to_string(),
+            "fadd.d f1, f2, f3"
+        );
+        assert_eq!(
+            Instruction::fp_compare(Opcode::FeqD, x(5), fr(1), fr(2))
+                .unwrap()
+                .to_string(),
+            "feq.d x5, f1, f2"
+        );
+        assert_eq!(
+            Instruction::r4_type(
+                Opcode::FmaddS,
+                fr(1),
+                fr(2),
+                fr(3),
+                fr(4),
+                RoundingMode::Rtz
+            )
+            .to_string(),
+            "fmadd.s f1, f2, f3, f4, rtz"
+        );
+        assert_eq!(
+            Instruction::fp_unary(
+                Opcode::FcvtWS,
+                Reg::X(x(1)),
+                Reg::F(fr(2)),
+                Some(RoundingMode::Rtz)
+            )
+            .unwrap()
+            .to_string(),
+            "fcvt.w.s x1, f2, rtz"
+        );
+        assert_eq!(
+            Instruction::fp_load(Opcode::Fld, fr(1), x(2), 16)
+                .unwrap()
+                .to_string(),
+            "fld f1, 16(x2)"
+        );
+        assert_eq!(
+            Instruction::fp_store(Opcode::Fsw, x(2), fr(1), -4)
+                .unwrap()
+                .to_string(),
+            "fsw f1, -4(x2)"
+        );
+    }
+}

@@ -32,6 +32,11 @@ pub enum RiscvError {
         /// Required alignment in bytes.
         alignment: u64,
     },
+    /// A CSR address outside the 12-bit address space was supplied.
+    InvalidCsrAddress {
+        /// The offending address.
+        addr: u16,
+    },
     /// The 32-bit word does not decode to any supported instruction.
     UnknownEncoding {
         /// The raw machine word.
@@ -74,6 +79,9 @@ impl fmt::Display for RiscvError {
                 f,
                 "immediate {value} of `{mnemonic}` is not aligned to {alignment} bytes"
             ),
+            RiscvError::InvalidCsrAddress { addr } => {
+                write!(f, "csr address {addr:#x} is out of range (0..0x1000)")
+            }
             RiscvError::UnknownEncoding { word } => {
                 write!(f, "word {word:#010x} is not a supported rv64 instruction")
             }

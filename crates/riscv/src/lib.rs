@@ -44,11 +44,11 @@ mod regs;
 pub mod csr;
 
 pub use error::RiscvError;
-pub use imm::{sign_extend, BranchOffset, JumpOffset};
+pub use imm::{fits_signed, fits_unsigned, sign_extend, BranchOffset, JumpOffset};
 pub use insn::Instruction;
 pub use library::{InstructionLibrary, LibraryConfig};
-pub use opcode::{Extension, Format, Opcode};
-pub use regs::{Fpr, Gpr, FPR_COUNT, GPR_COUNT};
+pub use opcode::{Encoding, Extension, Format, Opcode};
+pub use regs::{Fpr, Gpr, Reg, FPR_COUNT, GPR_COUNT};
 
 /// Width in bytes of every (non-compressed) RV64 instruction handled by this
 /// crate.
@@ -56,9 +56,10 @@ pub const INSTRUCTION_BYTES: u64 = 4;
 
 /// Floating-point rounding modes as encoded in the `rm` field of FP
 /// instructions and in `fcsr.frm`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub enum RoundingMode {
     /// Round to nearest, ties to even.
+    #[default]
     Rne,
     /// Round towards zero.
     Rtz,
@@ -98,8 +99,8 @@ impl RoundingMode {
     /// Decode a 3-bit `rm` field.
     ///
     /// Returns `None` for the reserved encodings `0b101` and `0b110`, which
-    /// the paper's bug B2 scenario exercises ("FP instruction with invalid
-    /// `frm` does not raise an exception").
+    /// the paper's bug-scenario suite (scenario B2: "FP instruction with an
+    /// invalid `frm` does not raise an exception") exercises.
     #[must_use]
     pub fn from_bits(bits: u8) -> Option<Self> {
         match bits & 0b111 {
@@ -111,12 +112,6 @@ impl RoundingMode {
             0b111 => Some(RoundingMode::Dyn),
             _ => None,
         }
-    }
-}
-
-impl Default for RoundingMode {
-    fn default() -> Self {
-        RoundingMode::Rne
     }
 }
 

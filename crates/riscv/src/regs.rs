@@ -63,6 +63,19 @@ impl Gpr {
     }
 }
 
+impl Gpr {
+    /// Standard ABI name of the register (`zero`, `ra`, `sp`, …).
+    #[must_use]
+    pub fn abi_name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+            "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+            "t3", "t4", "t5", "t6",
+        ];
+        NAMES[usize::from(self.0)]
+    }
+}
+
 impl Fpr {
     /// Create a register index, validating that it is below 32.
     ///
@@ -92,6 +105,58 @@ impl Fpr {
     /// Iterator over every floating-point register.
     pub fn all() -> impl Iterator<Item = Fpr> {
         (0..FPR_COUNT).map(Fpr)
+    }
+}
+
+/// A register operand that is either an integer or a floating-point
+/// register.
+///
+/// Used by the mixed-class constructors ([`crate::Instruction::fp_unary`])
+/// where the register class depends on the opcode (`fcvt.w.s` reads an FPR
+/// and writes a GPR; `fcvt.s.w` does the opposite).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Reg {
+    /// An integer (x) register.
+    X(Gpr),
+    /// A floating-point (f) register.
+    F(Fpr),
+}
+
+impl Reg {
+    /// The raw index in `0..32`.
+    #[must_use]
+    pub fn index(self) -> u8 {
+        match self {
+            Reg::X(r) => r.index(),
+            Reg::F(r) => r.index(),
+        }
+    }
+
+    /// True when the operand is a floating-point register.
+    #[must_use]
+    pub fn is_fpr(self) -> bool {
+        matches!(self, Reg::F(_))
+    }
+}
+
+impl From<Gpr> for Reg {
+    fn from(value: Gpr) -> Self {
+        Reg::X(value)
+    }
+}
+
+impl From<Fpr> for Reg {
+    fn from(value: Fpr) -> Self {
+        Reg::F(value)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::X(r) => r.fmt(f),
+            Reg::F(r) => r.fmt(f),
+        }
     }
 }
 
@@ -175,5 +240,25 @@ mod tests {
     fn display_forms() {
         assert_eq!(Gpr::new(5).unwrap().to_string(), "x5");
         assert_eq!(Fpr::new(7).unwrap().to_string(), "f7");
+        assert_eq!(Reg::X(Gpr::SP).to_string(), "x2");
+        assert_eq!(Reg::F(Fpr::new(3).unwrap()).to_string(), "f3");
+    }
+
+    #[test]
+    fn abi_names() {
+        assert_eq!(Gpr::ZERO.abi_name(), "zero");
+        assert_eq!(Gpr::RA.abi_name(), "ra");
+        assert_eq!(Gpr::new(10).unwrap().abi_name(), "a0");
+        assert_eq!(Gpr::new(31).unwrap().abi_name(), "t6");
+    }
+
+    #[test]
+    fn reg_carries_class_and_index() {
+        let x = Reg::from(Gpr::new(4).unwrap());
+        let f = Reg::from(Fpr::new(9).unwrap());
+        assert!(!x.is_fpr());
+        assert!(f.is_fpr());
+        assert_eq!(x.index(), 4);
+        assert_eq!(f.index(), 9);
     }
 }

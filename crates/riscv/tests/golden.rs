@@ -1,0 +1,164 @@
+//! Golden-word tests: hand-assembled machine words checked in both
+//! directions (encode produces the word, decode recovers the operands),
+//! plus CSR-address checks on the Zicsr decode path.
+
+use tf_riscv::{
+    csr, BranchOffset, Fpr, Gpr, Instruction, JumpOffset, Opcode, Reg, RiscvError, RoundingMode,
+};
+
+fn x(i: u8) -> Gpr {
+    Gpr::new(i).unwrap()
+}
+
+fn fr(i: u8) -> Fpr {
+    Fpr::new(i).unwrap()
+}
+
+#[track_caller]
+fn golden(insn: Instruction, word: u32, disasm: &str) {
+    assert_eq!(insn.encode().unwrap(), word, "encode mismatch for {disasm}");
+    assert_eq!(
+        Instruction::decode(word).unwrap(),
+        insn,
+        "decode mismatch for {disasm}"
+    );
+    assert_eq!(insn.to_string(), disasm);
+}
+
+#[test]
+fn rv64i_golden_words() {
+    golden(
+        Instruction::i_type(Opcode::Addi, x(1), x(2), -1).unwrap(),
+        0xFFF1_0093,
+        "addi x1, x2, -1",
+    );
+    golden(Instruction::nop(), 0x0000_0013, "addi x0, x0, 0");
+    golden(
+        Instruction::r_type(Opcode::Add, x(1), x(2), x(3)),
+        0x0031_00B3,
+        "add x1, x2, x3",
+    );
+    golden(
+        Instruction::r_type(Opcode::Sub, x(10), x(11), x(12)),
+        0x40C5_8533,
+        "sub x10, x11, x12",
+    );
+    golden(
+        Instruction::u_type(Opcode::Lui, x(5), 0x12345).unwrap(),
+        0x1234_52B7,
+        "lui x5, 0x12345",
+    );
+    golden(
+        Instruction::j_type(Opcode::Jal, x(1), JumpOffset::new(8).unwrap()),
+        0x0080_00EF,
+        "jal x1, 8",
+    );
+    golden(
+        Instruction::b_type(Opcode::Beq, x(1), x(2), BranchOffset::new(-4).unwrap()),
+        0xFE20_8EE3,
+        "beq x1, x2, -4",
+    );
+    golden(
+        Instruction::i_type(Opcode::Lw, x(1), x(2), 8).unwrap(),
+        0x0081_2083,
+        "lw x1, 8(x2)",
+    );
+    golden(
+        Instruction::s_type(Opcode::Sd, x(2), x(3), 8).unwrap(),
+        0x0031_3423,
+        "sd x3, 8(x2)",
+    );
+    golden(
+        Instruction::shift(Opcode::Srai, x(1), x(2), 7).unwrap(),
+        0x4071_5093,
+        "srai x1, x2, 7",
+    );
+    golden(Instruction::system(Opcode::Ecall), 0x0000_0073, "ecall");
+    golden(Instruction::system(Opcode::Ebreak), 0x0010_0073, "ebreak");
+}
+
+#[test]
+fn rv64m_and_a_golden_words() {
+    golden(
+        Instruction::r_type(Opcode::Mul, x(1), x(2), x(3)),
+        0x0231_00B3,
+        "mul x1, x2, x3",
+    );
+    golden(
+        Instruction::amo(Opcode::AmoaddW, x(5), x(7), x(6), false, false).unwrap(),
+        0x0063_A2AF,
+        "amoadd.w x5, x6, (x7)",
+    );
+    golden(
+        Instruction::amo(Opcode::LrD, x(5), x(7), Gpr::ZERO, true, false).unwrap(),
+        0x1403_B2AF,
+        "lr.d.aq x5, (x7)",
+    );
+}
+
+#[test]
+fn fp_golden_words() {
+    golden(
+        Instruction::fp_r_type(Opcode::FaddD, fr(1), fr(2), fr(3), Some(RoundingMode::Rne))
+            .unwrap(),
+        0x0231_00D3,
+        "fadd.d f1, f2, f3, rne",
+    );
+    golden(
+        Instruction::fp_unary(
+            Opcode::FcvtWS,
+            Reg::X(x(1)),
+            Reg::F(fr(2)),
+            Some(RoundingMode::Rtz),
+        )
+        .unwrap(),
+        0xC001_10D3,
+        "fcvt.w.s x1, f2, rtz",
+    );
+    golden(
+        Instruction::r4_type(
+            Opcode::FmaddS,
+            fr(1),
+            fr(2),
+            fr(3),
+            fr(4),
+            RoundingMode::Rne,
+        ),
+        0x2031_00C3,
+        "fmadd.s f1, f2, f3, f4, rne",
+    );
+    golden(
+        Instruction::fp_load(Opcode::Fld, fr(1), x(2), 16).unwrap(),
+        0x0101_3087,
+        "fld f1, 16(x2)",
+    );
+}
+
+#[test]
+fn zicsr_golden_words_and_addresses() {
+    let csrrw = Instruction::csr_reg(Opcode::Csrrw, x(1), csr::FCSR, x(2)).unwrap();
+    golden(csrrw, 0x0031_10F3, "csrrw x1, fcsr, x2");
+    assert_eq!(csrrw.csr_addr(), Some(csr::FCSR));
+
+    // Decoding must expose the CSR address, and symbolic names must hold
+    // for the whole modelled set.
+    let decoded = Instruction::decode(0x0031_10F3).unwrap();
+    assert_eq!(decoded.csr_addr().and_then(csr::name), Some("fcsr"));
+
+    let csrrsi = Instruction::csr_imm(Opcode::Csrrsi, x(3), csr::MSTATUS, 9).unwrap();
+    let word = csrrsi.encode().unwrap();
+    let back = Instruction::decode(word).unwrap();
+    assert_eq!(back.csr_addr(), Some(csr::MSTATUS));
+    assert_eq!(back.rs1(), 9, "zimm must survive the round trip");
+    assert_eq!(back.to_string(), "csrrsi x3, mstatus, 9");
+}
+
+#[test]
+fn reserved_rounding_mode_is_a_decode_error() {
+    // fadd.s with rm=0b101: the paper's bug scenario B2 word.
+    let word = 0x0031_00D3 & !(0b111 << 12) & !(1 << 25) | 0b101 << 12;
+    assert_eq!(
+        Instruction::decode(word),
+        Err(RiscvError::InvalidRoundingMode { bits: 0b101 })
+    );
+}
