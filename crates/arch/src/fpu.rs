@@ -1,0 +1,871 @@
+//! IEEE 754 arithmetic with RISC-V exception flags and rounding modes.
+//!
+//! The host FPU computes round-to-nearest-even results. Every operation
+//! here recovers the *exact* rounding residual — via Knuth two-sum for
+//! addition and fused-multiply-add identities for multiplication, division
+//! and square root — and uses it to (a) set the `fflags` bits (`NX`, `UF`,
+//! `OF`, `DZ`, `NV`) and (b) correct the result by one ulp for the
+//! directed rounding modes (`RTZ`, `RDN`, `RUP`) and for `RMM` ties.
+//!
+//! Known approximations, documented rather than hidden:
+//!
+//! * Fused multiply-add residuals are computed with a two-product /
+//!   two-sum chain that can misjudge `NX` when the intermediate product
+//!   over- or underflows; the result value itself is always the host's
+//!   correctly rounded (RNE) fused result.
+//! * Residual-based `NX` detection can be off when the residual term
+//!   itself underflows (products deep in the subnormal range).
+//! * `RMM` tie detection is skipped for division and square root, whose
+//!   results are never exact ties between representable values.
+//!
+//! Each function returns `(value, fflags)`; flags use the bit positions of
+//! [`tf_riscv::csr::fflags`]. Rounding modes must be pre-resolved: `Dyn`
+//! is treated as RNE, the hart resolves it through `fcsr.frm` (and traps
+//! on reserved values) before calling in.
+
+use tf_riscv::csr::fflags::{DZ, NV, NX, OF, UF};
+use tf_riscv::RoundingMode;
+
+macro_rules! float_impl {
+    ($mod:ident, $t:ty, $b:ty, $scale_shift:expr, $doc:literal) => {
+        #[doc = $doc]
+        pub mod $mod {
+            use super::*;
+
+            /// Bit pattern width of the format.
+            const BITS: u32 = <$b>::BITS;
+            /// Exact power-of-two scale that lifts subnormal products into
+            /// the normal range, where the FMA residual trick is reliable.
+            const SCALE: $t = (1_u128 << $scale_shift) as $t;
+            /// The quiet bit: top bit of the mantissa field.
+            const QUIET_BIT: $b = 1 << (<$t>::MANTISSA_DIGITS - 2);
+            /// Canonical quiet NaN of the format.
+            pub const CANONICAL_NAN: $t = <$t>::from_bits(
+                ((1 << (BITS - <$t>::MANTISSA_DIGITS)) - 1) << (<$t>::MANTISSA_DIGITS - 1)
+                    | QUIET_BIT,
+            );
+
+            /// True for a signalling NaN (quiet bit clear).
+            pub fn is_snan(v: $t) -> bool {
+                v.is_nan() && v.to_bits() & QUIET_BIT == 0
+            }
+
+            /// The next representable value towards `+inf`.
+            fn next_up(v: $t) -> $t {
+                if v.is_nan() || v == <$t>::INFINITY {
+                    return v;
+                }
+                if v == 0.0 {
+                    return <$t>::from_bits(1);
+                }
+                let bits = v.to_bits();
+                if bits >> (BITS - 1) == 1 {
+                    <$t>::from_bits(bits - 1)
+                } else {
+                    <$t>::from_bits(bits + 1)
+                }
+            }
+
+            /// Step one ulp in direction `dir` (`>0` up, `<0` down).
+            pub(crate) fn step(v: $t, dir: i32) -> $t {
+                if dir > 0 {
+                    next_up(v)
+                } else if dir < 0 {
+                    -next_up(-v)
+                } else {
+                    v
+                }
+            }
+
+            /// Residual direction and RMM-tie flag from the exact rounding
+            /// error `err` of the RNE result `r` (`err = exact - r`).
+            fn dir_tie(r: $t, err: $t) -> (i32, bool) {
+                if err == 0.0 {
+                    return (0, false);
+                }
+                let dir = if err > 0.0 { 1 } else { -1 };
+                // A tie sits exactly halfway to the neighbour in `dir`.
+                let half = (step(r, dir) - r) / 2.0;
+                (dir, err == half)
+            }
+
+            /// Move the RNE result `r` to the directed-rounding result.
+            pub(crate) fn directed(r: $t, dir: i32, tie: bool, rm: RoundingMode) -> $t {
+                if dir == 0 {
+                    return r;
+                }
+                match rm {
+                    RoundingMode::Rne | RoundingMode::Dyn => r,
+                    // RNE differs from RMM only on ties it resolved
+                    // towards zero.
+                    RoundingMode::Rmm => {
+                        let away =
+                            (dir > 0 && r.is_sign_positive()) || (dir < 0 && r.is_sign_negative());
+                        if tie && away {
+                            step(r, dir)
+                        } else {
+                            r
+                        }
+                    }
+                    RoundingMode::Rtz => {
+                        if r.is_sign_positive() && dir < 0 {
+                            step(r, -1)
+                        } else if r.is_sign_negative() && dir > 0 {
+                            step(r, 1)
+                        } else {
+                            r
+                        }
+                    }
+                    RoundingMode::Rdn => {
+                        if dir < 0 {
+                            step(r, -1)
+                        } else {
+                            r
+                        }
+                    }
+                    RoundingMode::Rup => {
+                        if dir > 0 {
+                            step(r, 1)
+                        } else {
+                            r
+                        }
+                    }
+                }
+            }
+
+            /// Finish a finite-path operation: directed correction plus
+            /// `NX`/`UF` accrual.
+            fn finish(r_rne: $t, dir: i32, tie: bool, rm: RoundingMode) -> ($t, u64) {
+                let r = directed(r_rne, dir, tie, rm);
+                let mut flags = 0;
+                if dir != 0 {
+                    flags |= NX;
+                    if r == 0.0 || r.is_subnormal() {
+                        flags |= UF;
+                    }
+                }
+                (r, flags)
+            }
+
+            /// An overflowed result (RNE gave ±inf from finite operands):
+            /// directed modes clamp to the largest finite magnitude.
+            pub(crate) fn overflow(r: $t, rm: RoundingMode) -> ($t, u64) {
+                let max = <$t>::MAX.copysign(r);
+                let r = match rm {
+                    RoundingMode::Rne | RoundingMode::Rmm | RoundingMode::Dyn => r,
+                    RoundingMode::Rtz => max,
+                    RoundingMode::Rdn => {
+                        if r > 0.0 {
+                            max
+                        } else {
+                            r
+                        }
+                    }
+                    RoundingMode::Rup => {
+                        if r < 0.0 {
+                            max
+                        } else {
+                            r
+                        }
+                    }
+                };
+                (r, OF | NX)
+            }
+
+            /// Propagate NaN operands: canonical NaN out, `NV` iff any
+            /// input signals.
+            fn nan_result(inputs: &[$t]) -> ($t, u64) {
+                let nv = inputs.iter().any(|&v| is_snan(v));
+                (CANONICAL_NAN, if nv { NV } else { 0 })
+            }
+
+            /// IEEE zero-sign rule: an exact-zero sum rounds to `-0` only
+            /// in round-down, unless every addend is a positive zero.
+            fn fix_exact_zero_sign(r: $t, rm: RoundingMode, any_negative_term: bool) -> $t {
+                if rm == RoundingMode::Rdn && r == 0.0 && r.is_sign_positive() && any_negative_term
+                {
+                    -0.0
+                } else {
+                    r
+                }
+            }
+
+            /// `a + b`.
+            pub fn add(a: $t, b: $t, rm: RoundingMode) -> ($t, u64) {
+                if a.is_nan() || b.is_nan() {
+                    return nan_result(&[a, b]);
+                }
+                let s = a + b;
+                if s.is_nan() {
+                    // inf + (-inf)
+                    return (CANONICAL_NAN, NV);
+                }
+                if a.is_infinite() || b.is_infinite() {
+                    return (s, 0);
+                }
+                if s.is_infinite() {
+                    return overflow(s, rm);
+                }
+                // Knuth two-sum: exact rounding error of the addition.
+                let bb = s - a;
+                let err = (a - (s - bb)) + (b - bb);
+                let (dir, tie) = dir_tie(s, err);
+                let (r, flags) = finish(s, dir, tie, rm);
+                let r = fix_exact_zero_sign(r, rm, a.is_sign_negative() || b.is_sign_negative());
+                (r, flags)
+            }
+
+            /// `a - b`.
+            pub fn sub(a: $t, b: $t, rm: RoundingMode) -> ($t, u64) {
+                add(a, -b, rm)
+            }
+
+            /// `a * b`.
+            pub fn mul(a: $t, b: $t, rm: RoundingMode) -> ($t, u64) {
+                if a.is_nan() || b.is_nan() {
+                    return nan_result(&[a, b]);
+                }
+                let p = a * b;
+                if p.is_nan() {
+                    // 0 * inf
+                    return (CANONICAL_NAN, NV);
+                }
+                if a.is_infinite() || b.is_infinite() {
+                    return (p, 0);
+                }
+                if p.is_infinite() {
+                    return overflow(p, rm);
+                }
+                let (dir, tie) = if p.is_subnormal() || p == 0.0 {
+                    // The residual of a subnormal product underflows, so
+                    // redo it with the smaller operand exactly scaled into
+                    // the normal range; only tie detection is lost there.
+                    let (small, big) = if a.abs() <= b.abs() { (a, b) } else { (b, a) };
+                    let err_s = (small * SCALE).mul_add(big, -(p * SCALE));
+                    let dir = if err_s == 0.0 {
+                        0
+                    } else if err_s > 0.0 {
+                        1
+                    } else {
+                        -1
+                    };
+                    (dir, false)
+                } else {
+                    // FMA identity: exact rounding error of the product.
+                    let err = a.mul_add(b, -p);
+                    dir_tie(p, err)
+                };
+                finish(p, dir, tie, rm)
+            }
+
+            /// `a / b`.
+            pub fn div(a: $t, b: $t, rm: RoundingMode) -> ($t, u64) {
+                if a.is_nan() || b.is_nan() {
+                    return nan_result(&[a, b]);
+                }
+                let q = a / b;
+                if q.is_nan() {
+                    // 0/0 or inf/inf
+                    return (CANONICAL_NAN, NV);
+                }
+                if b == 0.0 {
+                    // Finite nonzero dividend over zero: exact infinity.
+                    return (q, if a.is_finite() { DZ } else { 0 });
+                }
+                if a.is_infinite() || b.is_infinite() {
+                    return (q, 0);
+                }
+                if q.is_infinite() {
+                    return overflow(q, rm);
+                }
+                // rem = q*b - a, exactly; exact - q = -rem / b. A
+                // subnormal quotient needs the scaled domain, as in `mul`.
+                let rem = if q.is_subnormal() || q == 0.0 {
+                    (q * SCALE).mul_add(b, -(a * SCALE))
+                } else {
+                    q.mul_add(b, -a)
+                };
+                let dir = if rem == 0.0 {
+                    0
+                } else if (rem > 0.0) == (b > 0.0) {
+                    -1
+                } else {
+                    1
+                };
+                // Quotients are never exact ties between representables.
+                finish(q, dir, false, rm)
+            }
+
+            /// `sqrt(a)`.
+            pub fn sqrt(a: $t, rm: RoundingMode) -> ($t, u64) {
+                if a.is_nan() {
+                    return nan_result(&[a]);
+                }
+                if a == 0.0 || a == <$t>::INFINITY {
+                    return (a, 0);
+                }
+                if a < 0.0 {
+                    return (CANONICAL_NAN, NV);
+                }
+                let r = a.sqrt();
+                // rem = r*r - a, exactly; exact - r has the opposite sign.
+                let rem = r.mul_add(r, -a);
+                let dir = if rem == 0.0 {
+                    0
+                } else if rem > 0.0 {
+                    -1
+                } else {
+                    1
+                };
+                // Square roots are never exact ties between representables.
+                finish(r, dir, false, rm)
+            }
+
+            /// Fused `a * b + c` with a single rounding.
+            pub fn fma(a: $t, b: $t, c: $t, rm: RoundingMode) -> ($t, u64) {
+                // 0 * inf is invalid even when the addend is a quiet NaN.
+                if (a == 0.0 && b.is_infinite()) || (a.is_infinite() && b == 0.0) {
+                    return (CANONICAL_NAN, NV);
+                }
+                if a.is_nan() || b.is_nan() || c.is_nan() {
+                    return nan_result(&[a, b, c]);
+                }
+                let r = a.mul_add(b, c);
+                if r.is_nan() {
+                    // inf * x + (-inf)
+                    return (CANONICAL_NAN, NV);
+                }
+                if a.is_infinite() || b.is_infinite() || c.is_infinite() {
+                    return (r, 0);
+                }
+                if r.is_infinite() {
+                    return overflow(r, rm);
+                }
+                // Residual via two-product + two-sum; unreliable when the
+                // intermediate product leaves the normal range.
+                let p = a * b;
+                if a != 0.0 && b != 0.0 && (p.is_infinite() || p.is_subnormal() || p == 0.0) {
+                    let uf = if r == 0.0 || r.is_subnormal() { UF } else { 0 };
+                    return (r, NX | uf);
+                }
+                let p_err = a.mul_add(b, -p);
+                let s = p + c;
+                let bb = s - p;
+                let e1 = (p - (s - bb)) + (c - bb);
+                let resid = (s - r) + (e1 + p_err);
+                let dir = if resid == 0.0 {
+                    0
+                } else if resid > 0.0 {
+                    1
+                } else {
+                    -1
+                };
+                let (r, flags) = finish(r, dir, false, rm);
+                let prod_negative = a.is_sign_negative() != b.is_sign_negative();
+                let r = fix_exact_zero_sign(r, rm, prod_negative || c.is_sign_negative());
+                (r, flags)
+            }
+
+            /// `fmin`: the smaller operand, IEEE minimumNumber semantics.
+            pub fn min(a: $t, b: $t) -> ($t, u64) {
+                let nv = if is_snan(a) || is_snan(b) { NV } else { 0 };
+                let v = match (a.is_nan(), b.is_nan()) {
+                    (true, true) => CANONICAL_NAN,
+                    (true, false) => b,
+                    (false, true) => a,
+                    (false, false) => {
+                        if a == b {
+                            // min(+0, -0) is -0.
+                            if a.is_sign_negative() {
+                                a
+                            } else {
+                                b
+                            }
+                        } else if a < b {
+                            a
+                        } else {
+                            b
+                        }
+                    }
+                };
+                (v, nv)
+            }
+
+            /// `fmax`: the larger operand, IEEE maximumNumber semantics.
+            pub fn max(a: $t, b: $t) -> ($t, u64) {
+                let nv = if is_snan(a) || is_snan(b) { NV } else { 0 };
+                let v = match (a.is_nan(), b.is_nan()) {
+                    (true, true) => CANONICAL_NAN,
+                    (true, false) => b,
+                    (false, true) => a,
+                    (false, false) => {
+                        if a == b {
+                            // max(+0, -0) is +0.
+                            if a.is_sign_positive() {
+                                a
+                            } else {
+                                b
+                            }
+                        } else if a > b {
+                            a
+                        } else {
+                            b
+                        }
+                    }
+                };
+                (v, nv)
+            }
+
+            /// `feq`: quiet equality — NaNs compare unequal, only
+            /// signalling NaNs raise `NV`.
+            pub fn feq(a: $t, b: $t) -> (bool, u64) {
+                let nv = if is_snan(a) || is_snan(b) { NV } else { 0 };
+                (a == b, nv)
+            }
+
+            /// `flt`: signalling less-than — any NaN raises `NV`.
+            pub fn flt(a: $t, b: $t) -> (bool, u64) {
+                if a.is_nan() || b.is_nan() {
+                    (false, NV)
+                } else {
+                    (a < b, 0)
+                }
+            }
+
+            /// `fle`: signalling less-or-equal — any NaN raises `NV`.
+            pub fn fle(a: $t, b: $t) -> (bool, u64) {
+                if a.is_nan() || b.is_nan() {
+                    (false, NV)
+                } else {
+                    (a <= b, 0)
+                }
+            }
+
+            /// `fclass` bit mask (bits 0..=9 per the unprivileged spec).
+            pub fn fclass(v: $t) -> u64 {
+                let bit = if v.is_nan() {
+                    if is_snan(v) {
+                        8
+                    } else {
+                        9
+                    }
+                } else if v.is_sign_negative() {
+                    if v.is_infinite() {
+                        0
+                    } else if v == 0.0 {
+                        3
+                    } else if v.is_subnormal() {
+                        2
+                    } else {
+                        1
+                    }
+                } else if v.is_infinite() {
+                    7
+                } else if v == 0.0 {
+                    4
+                } else if v.is_subnormal() {
+                    5
+                } else {
+                    6
+                };
+                1 << bit
+            }
+
+            /// Convert to a float of this format from an `i128` integer
+            /// that is exactly representable in at most 64 bits, honouring
+            /// the rounding mode and `NX`.
+            pub fn from_int(v: i128, rm: RoundingMode) -> ($t, u64) {
+                let r = v as $t;
+                // |r| <= 2^64, so the round-trip through i128 is exact.
+                let back = r as i128;
+                let dir = match v.cmp(&back) {
+                    std::cmp::Ordering::Equal => 0,
+                    std::cmp::Ordering::Greater => 1,
+                    std::cmp::Ordering::Less => -1,
+                };
+                let tie = dir != 0 && {
+                    let gap = (step(r, dir) as i128).abs_diff(back);
+                    2 * v.abs_diff(back) == gap
+                };
+                let r = directed(r, dir, tie, rm);
+                (r, if dir != 0 { NX } else { 0 })
+            }
+        }
+    };
+}
+
+float_impl!(
+    sp,
+    f32,
+    u32,
+    50,
+    "Single-precision (RV64F) operations with flags."
+);
+float_impl!(
+    dp,
+    f64,
+    u64,
+    110,
+    "Double-precision (RV64D) operations with flags."
+);
+
+/// Round a float to an integral value per the RISC-V rounding mode.
+macro_rules! round_by_mode {
+    ($v:expr, $rm:expr) => {
+        match $rm {
+            RoundingMode::Rne | RoundingMode::Dyn => $v.round_ties_even(),
+            RoundingMode::Rtz => $v.trunc(),
+            RoundingMode::Rdn => $v.floor(),
+            RoundingMode::Rup => $v.ceil(),
+            RoundingMode::Rmm => $v.round(),
+        }
+    };
+}
+
+/// Generate a float→integer conversion with RISC-V saturation semantics:
+/// NaN and out-of-range inputs raise `NV` and clamp; in-range inexact
+/// inputs raise `NX`.
+macro_rules! cvt_to_int {
+    ($name:ident, $ft:ty, $it:ty, $lo:expr, $hi:expr, $doc:literal) => {
+        #[doc = $doc]
+        #[must_use]
+        pub fn $name(v: $ft, rm: RoundingMode) -> ($it, u64) {
+            if v.is_nan() {
+                return (<$it>::MAX, NV);
+            }
+            let rounded = round_by_mode!(v, rm);
+            // The bounds are exact powers of two in the float domain, so
+            // these comparisons are precise.
+            if rounded < $lo {
+                return (<$it>::MIN, NV);
+            }
+            if rounded >= $hi {
+                return (<$it>::MAX, NV);
+            }
+            let flags = if rounded == v { 0 } else { NX };
+            (rounded as $it, flags)
+        }
+    };
+}
+
+cvt_to_int!(
+    f32_to_i32,
+    f32,
+    i32,
+    -2_147_483_648.0_f32,
+    2_147_483_648.0_f32,
+    "`fcvt.w.s`."
+);
+cvt_to_int!(
+    f32_to_u32,
+    f32,
+    u32,
+    0.0_f32,
+    4_294_967_296.0_f32,
+    "`fcvt.wu.s`."
+);
+cvt_to_int!(
+    f32_to_i64,
+    f32,
+    i64,
+    -9_223_372_036_854_775_808.0_f32,
+    9_223_372_036_854_775_808.0_f32,
+    "`fcvt.l.s`."
+);
+cvt_to_int!(
+    f32_to_u64,
+    f32,
+    u64,
+    0.0_f32,
+    18_446_744_073_709_551_616.0_f32,
+    "`fcvt.lu.s`."
+);
+cvt_to_int!(
+    f64_to_i32,
+    f64,
+    i32,
+    -2_147_483_648.0_f64,
+    2_147_483_648.0_f64,
+    "`fcvt.w.d`."
+);
+cvt_to_int!(
+    f64_to_u32,
+    f64,
+    u32,
+    0.0_f64,
+    4_294_967_296.0_f64,
+    "`fcvt.wu.d`."
+);
+cvt_to_int!(
+    f64_to_i64,
+    f64,
+    i64,
+    -9_223_372_036_854_775_808.0_f64,
+    9_223_372_036_854_775_808.0_f64,
+    "`fcvt.l.d`."
+);
+cvt_to_int!(
+    f64_to_u64,
+    f64,
+    u64,
+    0.0_f64,
+    18_446_744_073_709_551_616.0_f64,
+    "`fcvt.lu.d`."
+);
+
+/// `fcvt.s.d`: narrow a double to single precision.
+#[must_use]
+pub fn f64_to_f32(v: f64, rm: RoundingMode) -> (f32, u64) {
+    if v.is_nan() {
+        let nv = if dp::is_snan(v) { NV } else { 0 };
+        return (sp::CANONICAL_NAN, nv);
+    }
+    let r = v as f32;
+    if v.is_infinite() {
+        return (r, 0);
+    }
+    if r.is_infinite() {
+        return sp::overflow(r, rm);
+    }
+    // f64 represents every f32 exactly, so the residual comparison and the
+    // midpoint test are both precise.
+    let back = f64::from(r);
+    let (dir, tie) = if back == v {
+        (0, false)
+    } else {
+        let dir = if v > back { 1 } else { -1 };
+        let neighbour = sp::step(r, dir);
+        let tie = neighbour.is_finite() && (back + f64::from(neighbour)) / 2.0 == v;
+        (dir, tie)
+    };
+    let r = sp::directed(r, dir, tie, rm);
+    let mut flags = 0;
+    if dir != 0 {
+        flags |= NX;
+        if r == 0.0 || r.is_subnormal() {
+            flags |= UF;
+        }
+    }
+    (r, flags)
+}
+
+/// `fcvt.d.s`: widen a single to double precision — always exact.
+#[must_use]
+pub fn f32_to_f64(v: f32) -> (f64, u64) {
+    if v.is_nan() {
+        let nv = if sp::is_snan(v) { NV } else { 0 };
+        return (dp::CANONICAL_NAN, nv);
+    }
+    (f64::from(v), 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tf_riscv::csr::fflags;
+
+    #[test]
+    fn exact_addition_raises_nothing() {
+        assert_eq!(dp::add(1.5, 2.25, RoundingMode::Rne), (3.75, 0));
+        assert_eq!(sp::add(1.0, 2.0, RoundingMode::Rtz), (3.0, 0));
+    }
+
+    #[test]
+    fn inexact_addition_sets_nx_and_rounds_directed() {
+        // 1 + 2^-60 is inexact in f64; RNE keeps 1.0, RUP steps up.
+        let tiny = (2.0_f64).powi(-60);
+        assert_eq!(dp::add(1.0, tiny, RoundingMode::Rne), (1.0, NX));
+        let (up, flags) = dp::add(1.0, tiny, RoundingMode::Rup);
+        assert_eq!(flags, NX);
+        assert!(up > 1.0);
+        assert_eq!(dp::add(1.0, tiny, RoundingMode::Rdn), (1.0, NX));
+        let (down, flags) = dp::add(-1.0, -tiny, RoundingMode::Rdn);
+        assert_eq!(flags, NX);
+        assert!(down < -1.0);
+        assert_eq!(dp::add(-1.0, -tiny, RoundingMode::Rtz), (-1.0, NX));
+    }
+
+    #[test]
+    fn rne_ties_go_to_even_and_rmm_away() {
+        // 1 + 2^-53 is an exact tie in f64.
+        let half_ulp = (2.0_f64).powi(-53);
+        assert_eq!(dp::add(1.0, half_ulp, RoundingMode::Rne), (1.0, NX));
+        let (away, flags) = dp::add(1.0, half_ulp, RoundingMode::Rmm);
+        assert_eq!(flags, NX);
+        assert!(away > 1.0);
+    }
+
+    #[test]
+    fn exact_zero_sum_sign_follows_rdn() {
+        let (z, _) = dp::add(5.0, -5.0, RoundingMode::Rne);
+        assert!(z == 0.0 && z.is_sign_positive());
+        let (z, _) = dp::add(5.0, -5.0, RoundingMode::Rdn);
+        assert!(z == 0.0 && z.is_sign_negative());
+        let (z, _) = dp::add(0.0, 0.0, RoundingMode::Rdn);
+        assert!(z.is_sign_positive());
+    }
+
+    #[test]
+    fn division_flags() {
+        assert_eq!(dp::div(1.0, 0.0, RoundingMode::Rne), (f64::INFINITY, DZ));
+        let (v, f) = dp::div(0.0, 0.0, RoundingMode::Rne);
+        assert!(v.is_nan());
+        assert_eq!(f, NV);
+        let (v, f) = dp::div(f64::INFINITY, 0.0, RoundingMode::Rne);
+        assert_eq!((v, f), (f64::INFINITY, 0));
+        // 1/3 is inexact; RUP must exceed RDN by one ulp.
+        let (up, _) = dp::div(1.0, 3.0, RoundingMode::Rup);
+        let (dn, _) = dp::div(1.0, 3.0, RoundingMode::Rdn);
+        assert!(up > dn);
+        assert_eq!(dp::div(6.0, 2.0, RoundingMode::Rup), (3.0, 0));
+    }
+
+    #[test]
+    fn sqrt_flags() {
+        assert_eq!(dp::sqrt(4.0, RoundingMode::Rne), (2.0, 0));
+        let (v, f) = dp::sqrt(-1.0, RoundingMode::Rne);
+        assert!(v.is_nan());
+        assert_eq!(f, NV);
+        let (v, f) = dp::sqrt(2.0, RoundingMode::Rne);
+        assert_eq!(f, NX);
+        // RTZ sqrt(2) must not exceed the RNE value.
+        let (tz, _) = dp::sqrt(2.0, RoundingMode::Rtz);
+        assert!(tz <= v);
+        assert!(tz * tz <= 2.0);
+    }
+
+    #[test]
+    fn overflow_clamps_in_directed_modes() {
+        let (v, f) = dp::mul(f64::MAX, 2.0, RoundingMode::Rne);
+        assert_eq!(v, f64::INFINITY);
+        assert_eq!(f, OF | NX);
+        let (v, f) = dp::mul(f64::MAX, 2.0, RoundingMode::Rtz);
+        assert_eq!(v, f64::MAX);
+        assert_eq!(f, OF | NX);
+        let (v, _) = dp::mul(-f64::MAX, 2.0, RoundingMode::Rup);
+        assert_eq!(v, -f64::MAX);
+        let (v, _) = dp::mul(-f64::MAX, 2.0, RoundingMode::Rdn);
+        assert_eq!(v, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn underflow_sets_uf_with_nx() {
+        let (v, f) = dp::mul(f64::MIN_POSITIVE, 0.5000001, RoundingMode::Rne);
+        assert!(v.is_subnormal());
+        assert_eq!(f, NX | UF);
+    }
+
+    #[test]
+    fn nan_propagation_and_nv() {
+        let snan = f64::from_bits(0x7FF0_0000_0000_0001);
+        let (v, f) = dp::add(snan, 1.0, RoundingMode::Rne);
+        assert_eq!(v.to_bits(), dp::CANONICAL_NAN.to_bits());
+        assert_eq!(f, NV);
+        let (v, f) = dp::add(f64::NAN, 1.0, RoundingMode::Rne);
+        assert!(v.is_nan());
+        assert_eq!(f, 0);
+        let (v, f) = dp::add(f64::INFINITY, f64::NEG_INFINITY, RoundingMode::Rne);
+        assert!(v.is_nan());
+        assert_eq!(f, NV);
+    }
+
+    #[test]
+    fn fma_invalid_zero_times_inf_beats_quiet_nan() {
+        let (v, f) = dp::fma(0.0, f64::INFINITY, f64::NAN, RoundingMode::Rne);
+        assert!(v.is_nan());
+        assert_eq!(f, NV);
+        // A fused op rounds once: 1 + eps*eps is inexact but representable
+        // intermediate products stay exact.
+        let eps = (2.0_f64).powi(-30);
+        let (v, f) = dp::fma(eps, eps, 1.0, RoundingMode::Rne);
+        assert_eq!(v, 1.0);
+        assert_eq!(f, NX);
+    }
+
+    #[test]
+    fn min_max_handle_zeros_and_nans() {
+        assert!(dp::min(0.0, -0.0).0.is_sign_negative());
+        assert!(dp::max(-0.0, 0.0).0.is_sign_positive());
+        assert_eq!(dp::min(f64::NAN, 3.0), (3.0, 0));
+        assert!(dp::min(f64::NAN, f64::NAN).0.is_nan());
+        let snan = f64::from_bits(0x7FF0_0000_0000_0001);
+        assert_eq!(dp::min(snan, 3.0), (3.0, NV));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(dp::feq(0.0, -0.0), (true, 0));
+        assert_eq!(dp::feq(f64::NAN, 0.0), (false, 0));
+        assert_eq!(dp::flt(f64::NAN, 0.0), (false, NV));
+        assert_eq!(dp::fle(1.0, 1.0), (true, 0));
+        assert_eq!(dp::flt(1.0, 2.0), (true, 0));
+    }
+
+    #[test]
+    fn fclass_covers_all_classes() {
+        assert_eq!(dp::fclass(f64::NEG_INFINITY), 1 << 0);
+        assert_eq!(dp::fclass(-1.0), 1 << 1);
+        assert_eq!(dp::fclass(-f64::MIN_POSITIVE / 2.0), 1 << 2);
+        assert_eq!(dp::fclass(-0.0), 1 << 3);
+        assert_eq!(dp::fclass(0.0), 1 << 4);
+        assert_eq!(dp::fclass(f64::MIN_POSITIVE / 2.0), 1 << 5);
+        assert_eq!(dp::fclass(1.0), 1 << 6);
+        assert_eq!(dp::fclass(f64::INFINITY), 1 << 7);
+        assert_eq!(dp::fclass(f64::from_bits(0x7FF0_0000_0000_0001)), 1 << 8);
+        assert_eq!(dp::fclass(f64::NAN), 1 << 9);
+    }
+
+    #[test]
+    fn float_to_int_conversions() {
+        assert_eq!(f64_to_i32(3.7, RoundingMode::Rtz), (3, NX));
+        assert_eq!(f64_to_i32(3.7, RoundingMode::Rup), (4, NX));
+        assert_eq!(f64_to_i32(-3.5, RoundingMode::Rne), (-4, NX));
+        assert_eq!(f64_to_i32(-3.5, RoundingMode::Rmm), (-4, NX));
+        assert_eq!(f64_to_i32(-2.5, RoundingMode::Rne), (-2, NX));
+        assert_eq!(f64_to_i32(4.0, RoundingMode::Rne), (4, 0));
+        assert_eq!(f64_to_i32(f64::NAN, RoundingMode::Rne), (i32::MAX, NV));
+        assert_eq!(f64_to_i32(3e10, RoundingMode::Rne), (i32::MAX, NV));
+        assert_eq!(f64_to_i32(-3e10, RoundingMode::Rne), (i32::MIN, NV));
+        assert_eq!(f64_to_u32(-1.0, RoundingMode::Rne), (0, NV));
+        assert_eq!(f64_to_u32(-0.25, RoundingMode::Rtz), (0, NX));
+        assert_eq!(
+            f64_to_u64(1e19, RoundingMode::Rne),
+            (10_000_000_000_000_000_000, 0)
+        );
+        assert_eq!(f32_to_i64(f32::INFINITY, RoundingMode::Rne), (i64::MAX, NV));
+    }
+
+    #[test]
+    fn int_to_float_conversions() {
+        assert_eq!(dp::from_int(7, RoundingMode::Rne), (7.0, 0));
+        // 2^53 + 1 is inexact in f64.
+        let v = (1_i128 << 53) + 1;
+        let (r, f) = dp::from_int(v, RoundingMode::Rne);
+        assert_eq!(f, NX);
+        assert_eq!(r, 9_007_199_254_740_992.0);
+        let (r_up, f) = dp::from_int(v, RoundingMode::Rup);
+        assert_eq!(f, NX);
+        assert!(r_up > r);
+        // i32 always fits f64 exactly.
+        assert_eq!(dp::from_int(i128::from(i32::MIN), RoundingMode::Rne).1, 0);
+        // 16777217 = 2^24 + 1 is inexact in f32 and an exact tie.
+        let (r, f) = sp::from_int(16_777_217, RoundingMode::Rne);
+        assert_eq!((r, f), (16_777_216.0_f32, NX));
+        let (r, f) = sp::from_int(16_777_217, RoundingMode::Rmm);
+        assert_eq!((r, f), (16_777_218.0_f32, NX));
+    }
+
+    #[test]
+    fn narrowing_conversions() {
+        assert_eq!(f32_to_f64(1.5), (1.5, 0));
+        assert_eq!(f64_to_f32(1.5, RoundingMode::Rne), (1.5, 0));
+        let (v, f) = f64_to_f32(1.0 + (2.0_f64).powi(-40), RoundingMode::Rne);
+        assert_eq!((v, f), (1.0, NX));
+        let (v, f) = f64_to_f32(1e300, RoundingMode::Rne);
+        assert_eq!((v, f), (f32::INFINITY, fflags::OF | NX));
+        let (v, f) = f64_to_f32(1e300, RoundingMode::Rtz);
+        assert_eq!((v, f), (f32::MAX, fflags::OF | NX));
+        let (v, _) = f64_to_f32(f64::NAN, RoundingMode::Rne);
+        assert_eq!(v.to_bits(), sp::CANONICAL_NAN.to_bits());
+    }
+}

@@ -1,0 +1,1239 @@
+//! The hart: fetch, decode, execute — one instruction per [`Hart::step`].
+
+use tf_riscv::csr::{self, CsrAddr};
+use tf_riscv::{Fpr, Gpr, Instruction, Opcode, RoundingMode};
+
+use crate::fpu::{self, dp, sp};
+use crate::mem::Memory;
+use crate::state::ArchState;
+use crate::trace::{ExecutionTrace, Fnv, StepOutcome, TraceEntry};
+use crate::trap::Trap;
+
+/// Why [`Hart::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunExit {
+    /// An `ebreak` trapped after `steps` executed steps — the conventional
+    /// end-of-program marker for generated workloads.
+    Breakpoint {
+        /// Steps executed, including the trapping one.
+        steps: u64,
+    },
+    /// An `ecall` trapped after `steps` executed steps.
+    EnvironmentCall {
+        /// Steps executed, including the trapping one.
+        steps: u64,
+    },
+    /// The step budget ran out first.
+    OutOfGas,
+}
+
+/// A single RV64 IMAFD+Zicsr hart with its private memory.
+///
+/// [`Hart::step`] never panics: every abnormal condition becomes a typed
+/// [`Trap`], which is architecturally taken (CSRs updated, `pc` vectored
+/// to `mtvec`) before the step returns. This totality is what makes the
+/// model usable as the golden reference under fuzzed instruction streams.
+#[derive(Debug, Clone)]
+pub struct Hart {
+    state: ArchState,
+    mem: Memory,
+    reservation: Option<u64>,
+    trace: Option<ExecutionTrace>,
+}
+
+impl Hart {
+    /// Create a hart at the reset state with `mem_size` bytes of memory.
+    #[must_use]
+    pub fn new(mem_size: u64) -> Self {
+        Hart {
+            state: ArchState::new(),
+            mem: Memory::new(mem_size),
+            reservation: None,
+            trace: None,
+        }
+    }
+
+    /// The architectural register state.
+    #[must_use]
+    pub fn state(&self) -> &ArchState {
+        &self.state
+    }
+
+    /// The architectural register state, mutably (test setup, templates).
+    pub fn state_mut(&mut self) -> &mut ArchState {
+        &mut self.state
+    }
+
+    /// The memory.
+    #[must_use]
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// The memory, mutably (program loading, data placement).
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Start recording an [`ExecutionTrace`] (replacing any previous one).
+    pub fn enable_tracing(&mut self) {
+        self.trace = Some(ExecutionTrace::new());
+    }
+
+    /// Stop tracing and take the recorded trace.
+    pub fn take_trace(&mut self) -> Option<ExecutionTrace> {
+        self.trace.take()
+    }
+
+    /// Encode `program` and store it contiguously starting at `base`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Trap`] a fetch of the offending word would raise:
+    /// [`Trap::StoreFault`] when the program does not fit in memory, and
+    /// [`Trap::IllegalInstruction`] (with a placeholder `word` of zero)
+    /// in the type-invariant-excluded case that an instruction fails to
+    /// encode.
+    pub fn load_program(&mut self, base: u64, program: &[Instruction]) -> Result<(), Trap> {
+        for (i, insn) in program.iter().enumerate() {
+            let addr = base + 4 * i as u64;
+            let word = insn
+                .encode()
+                .map_err(|_| Trap::IllegalInstruction { word: 0 })?;
+            self.mem
+                .store_u32(addr, word)
+                .ok_or(Trap::StoreFault { addr })?;
+        }
+        Ok(())
+    }
+
+    /// Combined digest of register state and memory — the run fingerprint
+    /// differential coverage compares between reference and DUT.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut fnv = Fnv::new();
+        fnv.write_u64(self.state.digest());
+        fnv.write_u64(self.mem.digest());
+        fnv.finish()
+    }
+
+    /// Execute one instruction.
+    ///
+    /// On a trap the hart has already vectored: `mepc`, `mcause`, `mtval`
+    /// and `mstatus` are updated and `pc` points at the handler
+    /// (`mtvec.base`). Never panics.
+    pub fn step(&mut self) -> StepOutcome {
+        self.state.csrs_mut().bump_cycle();
+        let pc = self.state.pc();
+        let mut word = None;
+        let outcome = match self.execute_at(pc, &mut word) {
+            Ok(insn) => {
+                self.state.csrs_mut().bump_instret();
+                StepOutcome::Retired(insn)
+            }
+            Err(trap) => {
+                let handler =
+                    self.state
+                        .csrs_mut()
+                        .enter_trap(pc, trap.cause().code(), trap.tval());
+                self.state.set_pc(handler);
+                StepOutcome::Trapped(trap)
+            }
+        };
+        if self.trace.is_some() {
+            let def = match outcome {
+                StepOutcome::Retired(insn) => insn.operands().defs().map(|reg| {
+                    let value = match reg {
+                        tf_riscv::Reg::X(g) => self.state.x(g),
+                        tf_riscv::Reg::F(f) => self.state.f_bits(f),
+                    };
+                    (reg, value)
+                }),
+                StepOutcome::Trapped(_) => None,
+            };
+            if let Some(trace) = &mut self.trace {
+                trace.push(TraceEntry {
+                    pc,
+                    word,
+                    outcome,
+                    def,
+                });
+            }
+        }
+        outcome
+    }
+
+    /// Step until an `ebreak`/`ecall` trap or until `max_steps` is spent.
+    pub fn run(&mut self, max_steps: u64) -> RunExit {
+        for steps in 1..=max_steps {
+            match self.step() {
+                StepOutcome::Trapped(Trap::Breakpoint { .. }) => {
+                    return RunExit::Breakpoint { steps }
+                }
+                StepOutcome::Trapped(Trap::EnvironmentCall) => {
+                    return RunExit::EnvironmentCall { steps }
+                }
+                _ => {}
+            }
+        }
+        RunExit::OutOfGas
+    }
+
+    fn execute_at(&mut self, pc: u64, word_out: &mut Option<u32>) -> Result<Instruction, Trap> {
+        if pc % 4 != 0 {
+            return Err(Trap::InstructionMisaligned { addr: pc });
+        }
+        let word = self
+            .mem
+            .load_u32(pc)
+            .ok_or(Trap::InstructionFault { addr: pc })?;
+        *word_out = Some(word);
+        let insn = Instruction::decode(word).map_err(|_| Trap::IllegalInstruction { word })?;
+        self.exec(insn, pc, word)?;
+        Ok(insn)
+    }
+
+    // ---- register helpers ----------------------------------------------
+
+    fn x(&self, index: u8) -> u64 {
+        self.state.x(Gpr::wrapping(index))
+    }
+
+    fn set_x(&mut self, index: u8, value: u64) {
+        self.state.set_x(Gpr::wrapping(index), value);
+    }
+
+    fn f(index: u8) -> Fpr {
+        Fpr::wrapping(index)
+    }
+
+    fn accrue(&mut self, flags: u64) {
+        if flags != 0 {
+            self.state.csrs_mut().accrue_fflags(flags);
+            self.state.csrs_mut().set_fp_dirty();
+        }
+    }
+
+    fn fp_guard(&self, word: u32) -> Result<(), Trap> {
+        if self.state.csrs().fp_off() {
+            Err(Trap::IllegalInstruction { word })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Resolve the effective rounding mode; a dynamic mode reading a
+    /// reserved `fcsr.frm` raises illegal instruction (bug scenario B2).
+    fn resolve_rm(&self, insn: Instruction, word: u32) -> Result<RoundingMode, Trap> {
+        match insn.rm() {
+            Some(RoundingMode::Dyn) => match RoundingMode::from_bits(self.state.csrs().frm()) {
+                Some(RoundingMode::Dyn) | None => Err(Trap::IllegalInstruction { word }),
+                Some(mode) => Ok(mode),
+            },
+            Some(mode) => Ok(mode),
+            // Opcodes without a rounding-mode field never consult it.
+            None => Ok(RoundingMode::Rne),
+        }
+    }
+
+    /// Conditional branch: retarget `next` when `cmp` holds. Branch
+    /// offsets are 4-byte aligned by construction, so no alignment trap
+    /// is possible here.
+    fn branch(&self, insn: Instruction, pc: u64, next: &mut u64, cmp: fn(u64, u64) -> bool) {
+        if cmp(self.x(insn.rs1()), self.x(insn.rs2())) {
+            *next = pc.wrapping_add(insn.imm() as u64);
+        }
+    }
+
+    // ---- memory helpers ------------------------------------------------
+
+    fn int_load(&mut self, insn: Instruction, bytes: u64, signed: bool) -> Result<(), Trap> {
+        let addr = self.x(insn.rs1()).wrapping_add(insn.imm() as u64);
+        if addr % bytes != 0 {
+            return Err(Trap::LoadMisaligned { addr });
+        }
+        let fault = Trap::LoadFault { addr };
+        let value = match (bytes, signed) {
+            (1, false) => u64::from(self.mem.load_u8(addr).ok_or(fault)?),
+            (1, true) => self.mem.load_u8(addr).ok_or(fault)? as i8 as i64 as u64,
+            (2, false) => u64::from(self.mem.load_u16(addr).ok_or(fault)?),
+            (2, true) => self.mem.load_u16(addr).ok_or(fault)? as i16 as i64 as u64,
+            (4, false) => u64::from(self.mem.load_u32(addr).ok_or(fault)?),
+            (4, true) => self.mem.load_u32(addr).ok_or(fault)? as i32 as i64 as u64,
+            _ => self.mem.load_u64(addr).ok_or(fault)?,
+        };
+        self.set_x(insn.rd(), value);
+        Ok(())
+    }
+
+    fn int_store(&mut self, insn: Instruction, bytes: u64) -> Result<(), Trap> {
+        let addr = self.x(insn.rs1()).wrapping_add(insn.imm() as u64);
+        if addr % bytes != 0 {
+            return Err(Trap::StoreMisaligned { addr });
+        }
+        let value = self.x(insn.rs2());
+        let fault = Trap::StoreFault { addr };
+        match bytes {
+            1 => self.mem.store_u8(addr, value as u8).ok_or(fault),
+            2 => self.mem.store_u16(addr, value as u16).ok_or(fault),
+            4 => self.mem.store_u32(addr, value as u32).ok_or(fault),
+            _ => self.mem.store_u64(addr, value).ok_or(fault),
+        }
+    }
+
+    // ---- atomics -------------------------------------------------------
+
+    fn load_reserved(&mut self, insn: Instruction, bytes: u64) -> Result<(), Trap> {
+        let addr = self.x(insn.rs1());
+        if addr % bytes != 0 {
+            return Err(Trap::LoadMisaligned { addr });
+        }
+        let fault = Trap::LoadFault { addr };
+        let value = if bytes == 4 {
+            self.mem.load_u32(addr).ok_or(fault)? as i32 as i64 as u64
+        } else {
+            self.mem.load_u64(addr).ok_or(fault)?
+        };
+        self.reservation = Some(addr);
+        self.set_x(insn.rd(), value);
+        Ok(())
+    }
+
+    fn store_conditional(&mut self, insn: Instruction, bytes: u64) -> Result<(), Trap> {
+        let addr = self.x(insn.rs1());
+        if addr % bytes != 0 {
+            return Err(Trap::StoreMisaligned { addr });
+        }
+        let success = self.reservation == Some(addr);
+        // Any sc invalidates the reservation, pass or fail.
+        self.reservation = None;
+        if success {
+            let value = self.x(insn.rs2());
+            let fault = Trap::StoreFault { addr };
+            if bytes == 4 {
+                self.mem.store_u32(addr, value as u32).ok_or(fault)?;
+            } else {
+                self.mem.store_u64(addr, value).ok_or(fault)?;
+            }
+            self.set_x(insn.rd(), 0);
+        } else {
+            self.set_x(insn.rd(), 1);
+        }
+        Ok(())
+    }
+
+    /// Read-modify-write on a 32-bit memory word; `rd` gets the old value
+    /// sign-extended.
+    fn amo32(&mut self, insn: Instruction, op: fn(u32, u32) -> u32) -> Result<(), Trap> {
+        let addr = self.x(insn.rs1());
+        if addr % 4 != 0 {
+            return Err(Trap::StoreMisaligned { addr });
+        }
+        let old = self.mem.load_u32(addr).ok_or(Trap::StoreFault { addr })?;
+        let new = op(old, self.x(insn.rs2()) as u32);
+        self.mem
+            .store_u32(addr, new)
+            .ok_or(Trap::StoreFault { addr })?;
+        self.set_x(insn.rd(), old as i32 as i64 as u64);
+        Ok(())
+    }
+
+    /// Read-modify-write on a 64-bit memory doubleword.
+    fn amo64(&mut self, insn: Instruction, op: fn(u64, u64) -> u64) -> Result<(), Trap> {
+        let addr = self.x(insn.rs1());
+        if addr % 8 != 0 {
+            return Err(Trap::StoreMisaligned { addr });
+        }
+        let old = self.mem.load_u64(addr).ok_or(Trap::StoreFault { addr })?;
+        let new = op(old, self.x(insn.rs2()));
+        self.mem
+            .store_u64(addr, new)
+            .ok_or(Trap::StoreFault { addr })?;
+        self.set_x(insn.rd(), old);
+        Ok(())
+    }
+
+    // ---- floating point ------------------------------------------------
+
+    fn fp_bin_s(
+        &mut self,
+        insn: Instruction,
+        word: u32,
+        op: fn(f32, f32, RoundingMode) -> (f32, u64),
+    ) -> Result<(), Trap> {
+        self.fp_guard(word)?;
+        let rm = self.resolve_rm(insn, word)?;
+        let (a, b) = (
+            self.state.f32(Self::f(insn.rs1())),
+            self.state.f32(Self::f(insn.rs2())),
+        );
+        let (v, flags) = op(a, b, rm);
+        self.state.set_f32(Self::f(insn.rd()), v);
+        self.accrue(flags);
+        Ok(())
+    }
+
+    fn fp_bin_d(
+        &mut self,
+        insn: Instruction,
+        word: u32,
+        op: fn(f64, f64, RoundingMode) -> (f64, u64),
+    ) -> Result<(), Trap> {
+        self.fp_guard(word)?;
+        let rm = self.resolve_rm(insn, word)?;
+        let (a, b) = (
+            self.state.f64(Self::f(insn.rs1())),
+            self.state.f64(Self::f(insn.rs2())),
+        );
+        let (v, flags) = op(a, b, rm);
+        self.state.set_f64(Self::f(insn.rd()), v);
+        self.accrue(flags);
+        Ok(())
+    }
+
+    fn fp_fma_s(&mut self, insn: Instruction, word: u32, na: bool, nc: bool) -> Result<(), Trap> {
+        self.fp_guard(word)?;
+        let rm = self.resolve_rm(insn, word)?;
+        let a = self.state.f32(Self::f(insn.rs1()));
+        let b = self.state.f32(Self::f(insn.rs2()));
+        let c = self.state.f32(Self::f(insn.rs3()));
+        let (a, c) = (if na { -a } else { a }, if nc { -c } else { c });
+        let (v, flags) = sp::fma(a, b, c, rm);
+        self.state.set_f32(Self::f(insn.rd()), v);
+        self.accrue(flags);
+        Ok(())
+    }
+
+    fn fp_fma_d(&mut self, insn: Instruction, word: u32, na: bool, nc: bool) -> Result<(), Trap> {
+        self.fp_guard(word)?;
+        let rm = self.resolve_rm(insn, word)?;
+        let a = self.state.f64(Self::f(insn.rs1()));
+        let b = self.state.f64(Self::f(insn.rs2()));
+        let c = self.state.f64(Self::f(insn.rs3()));
+        let (a, c) = (if na { -a } else { a }, if nc { -c } else { c });
+        let (v, flags) = dp::fma(a, b, c, rm);
+        self.state.set_f64(Self::f(insn.rd()), v);
+        self.accrue(flags);
+        Ok(())
+    }
+
+    fn fp_cmp_s(
+        &mut self,
+        insn: Instruction,
+        word: u32,
+        op: fn(f32, f32) -> (bool, u64),
+    ) -> Result<(), Trap> {
+        self.fp_guard(word)?;
+        let (a, b) = (
+            self.state.f32(Self::f(insn.rs1())),
+            self.state.f32(Self::f(insn.rs2())),
+        );
+        let (v, flags) = op(a, b);
+        self.set_x(insn.rd(), u64::from(v));
+        self.accrue(flags);
+        Ok(())
+    }
+
+    fn fp_cmp_d(
+        &mut self,
+        insn: Instruction,
+        word: u32,
+        op: fn(f64, f64) -> (bool, u64),
+    ) -> Result<(), Trap> {
+        self.fp_guard(word)?;
+        let (a, b) = (
+            self.state.f64(Self::f(insn.rs1())),
+            self.state.f64(Self::f(insn.rs2())),
+        );
+        let (v, flags) = op(a, b);
+        self.set_x(insn.rd(), u64::from(v));
+        self.accrue(flags);
+        Ok(())
+    }
+
+    /// Sign injection on the single-precision value: `mode` 0 copies the
+    /// sign of `b`, 1 the negated sign, 2 the xor of both signs.
+    fn fsgnj_s(&mut self, insn: Instruction, word: u32, mode: u8) -> Result<(), Trap> {
+        self.fp_guard(word)?;
+        let a = self.state.f32(Self::f(insn.rs1())).to_bits();
+        let b = self.state.f32(Self::f(insn.rs2())).to_bits();
+        let sign = 1u32 << 31;
+        let s = match mode {
+            0 => b & sign,
+            1 => !b & sign,
+            _ => (a ^ b) & sign,
+        };
+        self.state
+            .set_f32(Self::f(insn.rd()), f32::from_bits((a & !sign) | s));
+        Ok(())
+    }
+
+    /// Sign injection on the double-precision value.
+    fn fsgnj_d(&mut self, insn: Instruction, word: u32, mode: u8) -> Result<(), Trap> {
+        self.fp_guard(word)?;
+        let a = self.state.f_bits(Self::f(insn.rs1()));
+        let b = self.state.f_bits(Self::f(insn.rs2()));
+        let sign = 1u64 << 63;
+        let s = match mode {
+            0 => b & sign,
+            1 => !b & sign,
+            _ => (a ^ b) & sign,
+        };
+        self.state.set_f_bits(Self::f(insn.rd()), (a & !sign) | s);
+        Ok(())
+    }
+
+    fn fp_load(&mut self, insn: Instruction, word: u32, bytes: u64) -> Result<(), Trap> {
+        self.fp_guard(word)?;
+        let addr = self.x(insn.rs1()).wrapping_add(insn.imm() as u64);
+        if addr % bytes != 0 {
+            return Err(Trap::LoadMisaligned { addr });
+        }
+        let fault = Trap::LoadFault { addr };
+        if bytes == 4 {
+            let bits = self.mem.load_u32(addr).ok_or(fault)?;
+            self.state.set_f32(Self::f(insn.rd()), f32::from_bits(bits));
+        } else {
+            let bits = self.mem.load_u64(addr).ok_or(fault)?;
+            self.state.set_f_bits(Self::f(insn.rd()), bits);
+        }
+        Ok(())
+    }
+
+    fn fp_store(&mut self, insn: Instruction, word: u32, bytes: u64) -> Result<(), Trap> {
+        self.fp_guard(word)?;
+        let addr = self.x(insn.rs1()).wrapping_add(insn.imm() as u64);
+        if addr % bytes != 0 {
+            return Err(Trap::StoreMisaligned { addr });
+        }
+        let fault = Trap::StoreFault { addr };
+        // Stores move the raw low bits, independent of NaN boxing.
+        let bits = self.state.f_bits(Self::f(insn.rs2()));
+        if bytes == 4 {
+            self.mem.store_u32(addr, bits as u32).ok_or(fault)
+        } else {
+            self.mem.store_u64(addr, bits).ok_or(fault)
+        }
+    }
+
+    /// `fcvt` to an integer register: convert, then sign-extend the
+    /// 32-bit results as RV64 requires.
+    fn fcvt_to_int_s(
+        &mut self,
+        insn: Instruction,
+        word: u32,
+        cvt: fn(f32, RoundingMode) -> (u64, u64),
+    ) -> Result<(), Trap> {
+        self.fp_guard(word)?;
+        let rm = self.resolve_rm(insn, word)?;
+        let (v, flags) = cvt(self.state.f32(Self::f(insn.rs1())), rm);
+        self.set_x(insn.rd(), v);
+        self.accrue(flags);
+        Ok(())
+    }
+
+    fn fcvt_to_int_d(
+        &mut self,
+        insn: Instruction,
+        word: u32,
+        cvt: fn(f64, RoundingMode) -> (u64, u64),
+    ) -> Result<(), Trap> {
+        self.fp_guard(word)?;
+        let rm = self.resolve_rm(insn, word)?;
+        let (v, flags) = cvt(self.state.f64(Self::f(insn.rs1())), rm);
+        self.set_x(insn.rd(), v);
+        self.accrue(flags);
+        Ok(())
+    }
+
+    fn fcvt_from_int_s(&mut self, insn: Instruction, word: u32, v: i128) -> Result<(), Trap> {
+        self.fp_guard(word)?;
+        let rm = self.resolve_rm(insn, word)?;
+        let (r, flags) = sp::from_int(v, rm);
+        self.state.set_f32(Self::f(insn.rd()), r);
+        self.accrue(flags);
+        Ok(())
+    }
+
+    fn fcvt_from_int_d(&mut self, insn: Instruction, word: u32, v: i128) -> Result<(), Trap> {
+        self.fp_guard(word)?;
+        let rm = self.resolve_rm(insn, word)?;
+        let (r, flags) = dp::from_int(v, rm);
+        self.state.set_f64(Self::f(insn.rd()), r);
+        self.accrue(flags);
+        Ok(())
+    }
+
+    // ---- csr -----------------------------------------------------------
+
+    fn csr_op(&mut self, insn: Instruction, word: u32) -> Result<(), Trap> {
+        let illegal = Trap::IllegalInstruction { word };
+        let addr: CsrAddr = insn.csr_addr().ok_or(illegal)?;
+        // fcsr and its views are FP state: accesses trap when FS is off.
+        let fp_csr = matches!(addr, csr::FFLAGS | csr::FRM | csr::FCSR);
+        if fp_csr {
+            self.fp_guard(word)?;
+        }
+        // Immediate forms carry the 5-bit source in the rs1 slot; register
+        // forms read the register. An x0/zero source suppresses the write
+        // for the set/clear flavours.
+        let (src, src_is_zero) = match insn.opcode() {
+            Opcode::Csrrw | Opcode::Csrrs | Opcode::Csrrc => (self.x(insn.rs1()), insn.rs1() == 0),
+            _ => (u64::from(insn.rs1()), insn.rs1() == 0),
+        };
+        let old = self.state.csrs().read(addr).ok_or(illegal)?;
+        let write = match insn.opcode() {
+            Opcode::Csrrw | Opcode::Csrrwi => Some(src),
+            Opcode::Csrrs | Opcode::Csrrsi => (!src_is_zero).then_some(old | src),
+            _ => (!src_is_zero).then_some(old & !src),
+        };
+        if let Some(value) = write {
+            self.state.csrs_mut().write(addr, value).ok_or(illegal)?;
+            if fp_csr {
+                self.state.csrs_mut().set_fp_dirty();
+            }
+        }
+        self.set_x(insn.rd(), old);
+        Ok(())
+    }
+
+    // ---- the interpreter -----------------------------------------------
+
+    /// Execute one decoded instruction. The match is exhaustive over every
+    /// [`Opcode`] — no catch-all — so adding an opcode to the substrate
+    /// without teaching the reference model about it fails to compile.
+    #[allow(clippy::too_many_lines)]
+    fn exec(&mut self, insn: Instruction, pc: u64, word: u32) -> Result<(), Trap> {
+        use Opcode as Op;
+        let mut next = pc.wrapping_add(4);
+        let imm = insn.imm();
+        match insn.opcode() {
+            // ---- RV64I: upper immediates and jumps ---------------------
+            Op::Lui => self.set_x(insn.rd(), (imm << 12) as u64),
+            Op::Auipc => self.set_x(insn.rd(), pc.wrapping_add((imm << 12) as u64)),
+            Op::Jal => {
+                self.set_x(insn.rd(), next);
+                next = pc.wrapping_add(imm as u64);
+            }
+            Op::Jalr => {
+                let target = self.x(insn.rs1()).wrapping_add(imm as u64) & !1;
+                if target % 4 != 0 {
+                    return Err(Trap::InstructionMisaligned { addr: target });
+                }
+                self.set_x(insn.rd(), next);
+                next = target;
+            }
+            // ---- RV64I: branches ---------------------------------------
+            Op::Beq => self.branch(insn, pc, &mut next, |a, b| a == b),
+            Op::Bne => self.branch(insn, pc, &mut next, |a, b| a != b),
+            Op::Blt => self.branch(insn, pc, &mut next, |a, b| (a as i64) < (b as i64)),
+            Op::Bge => self.branch(insn, pc, &mut next, |a, b| (a as i64) >= (b as i64)),
+            Op::Bltu => self.branch(insn, pc, &mut next, |a, b| a < b),
+            Op::Bgeu => self.branch(insn, pc, &mut next, |a, b| a >= b),
+            // ---- RV64I: loads and stores -------------------------------
+            Op::Lb => self.int_load(insn, 1, true)?,
+            Op::Lh => self.int_load(insn, 2, true)?,
+            Op::Lw => self.int_load(insn, 4, true)?,
+            Op::Ld => self.int_load(insn, 8, true)?,
+            Op::Lbu => self.int_load(insn, 1, false)?,
+            Op::Lhu => self.int_load(insn, 2, false)?,
+            Op::Lwu => self.int_load(insn, 4, false)?,
+            Op::Sb => self.int_store(insn, 1)?,
+            Op::Sh => self.int_store(insn, 2)?,
+            Op::Sw => self.int_store(insn, 4)?,
+            Op::Sd => self.int_store(insn, 8)?,
+            // ---- RV64I: register-immediate -----------------------------
+            Op::Addi => {
+                let v = self.x(insn.rs1()).wrapping_add(imm as u64);
+                self.set_x(insn.rd(), v);
+            }
+            Op::Slti => {
+                let v = (self.x(insn.rs1()) as i64) < imm;
+                self.set_x(insn.rd(), u64::from(v));
+            }
+            Op::Sltiu => {
+                let v = self.x(insn.rs1()) < imm as u64;
+                self.set_x(insn.rd(), u64::from(v));
+            }
+            Op::Xori => {
+                let v = self.x(insn.rs1()) ^ imm as u64;
+                self.set_x(insn.rd(), v);
+            }
+            Op::Ori => {
+                let v = self.x(insn.rs1()) | imm as u64;
+                self.set_x(insn.rd(), v);
+            }
+            Op::Andi => {
+                let v = self.x(insn.rs1()) & imm as u64;
+                self.set_x(insn.rd(), v);
+            }
+            Op::Slli => {
+                let v = self.x(insn.rs1()) << imm;
+                self.set_x(insn.rd(), v);
+            }
+            Op::Srli => {
+                let v = self.x(insn.rs1()) >> imm;
+                self.set_x(insn.rd(), v);
+            }
+            Op::Srai => {
+                let v = (self.x(insn.rs1()) as i64) >> imm;
+                self.set_x(insn.rd(), v as u64);
+            }
+            Op::Addiw => {
+                let v = self.x(insn.rs1()).wrapping_add(imm as u64) as i32;
+                self.set_x(insn.rd(), v as i64 as u64);
+            }
+            Op::Slliw => {
+                let v = ((self.x(insn.rs1()) as u32) << imm) as i32;
+                self.set_x(insn.rd(), v as i64 as u64);
+            }
+            Op::Srliw => {
+                let v = ((self.x(insn.rs1()) as u32) >> imm) as i32;
+                self.set_x(insn.rd(), v as i64 as u64);
+            }
+            Op::Sraiw => {
+                let v = (self.x(insn.rs1()) as i32) >> imm;
+                self.set_x(insn.rd(), v as i64 as u64);
+            }
+            // ---- RV64I: register-register ------------------------------
+            Op::Add => {
+                let v = self.x(insn.rs1()).wrapping_add(self.x(insn.rs2()));
+                self.set_x(insn.rd(), v);
+            }
+            Op::Sub => {
+                let v = self.x(insn.rs1()).wrapping_sub(self.x(insn.rs2()));
+                self.set_x(insn.rd(), v);
+            }
+            Op::Sll => {
+                let v = self.x(insn.rs1()) << (self.x(insn.rs2()) & 63);
+                self.set_x(insn.rd(), v);
+            }
+            Op::Slt => {
+                let v = (self.x(insn.rs1()) as i64) < (self.x(insn.rs2()) as i64);
+                self.set_x(insn.rd(), u64::from(v));
+            }
+            Op::Sltu => {
+                let v = self.x(insn.rs1()) < self.x(insn.rs2());
+                self.set_x(insn.rd(), u64::from(v));
+            }
+            Op::Xor => {
+                let v = self.x(insn.rs1()) ^ self.x(insn.rs2());
+                self.set_x(insn.rd(), v);
+            }
+            Op::Srl => {
+                let v = self.x(insn.rs1()) >> (self.x(insn.rs2()) & 63);
+                self.set_x(insn.rd(), v);
+            }
+            Op::Sra => {
+                let v = (self.x(insn.rs1()) as i64) >> (self.x(insn.rs2()) & 63);
+                self.set_x(insn.rd(), v as u64);
+            }
+            Op::Or => {
+                let v = self.x(insn.rs1()) | self.x(insn.rs2());
+                self.set_x(insn.rd(), v);
+            }
+            Op::And => {
+                let v = self.x(insn.rs1()) & self.x(insn.rs2());
+                self.set_x(insn.rd(), v);
+            }
+            Op::Addw => {
+                let v = self.x(insn.rs1()).wrapping_add(self.x(insn.rs2())) as i32;
+                self.set_x(insn.rd(), v as i64 as u64);
+            }
+            Op::Subw => {
+                let v = self.x(insn.rs1()).wrapping_sub(self.x(insn.rs2())) as i32;
+                self.set_x(insn.rd(), v as i64 as u64);
+            }
+            Op::Sllw => {
+                let v = ((self.x(insn.rs1()) as u32) << (self.x(insn.rs2()) & 31)) as i32;
+                self.set_x(insn.rd(), v as i64 as u64);
+            }
+            Op::Srlw => {
+                let v = ((self.x(insn.rs1()) as u32) >> (self.x(insn.rs2()) & 31)) as i32;
+                self.set_x(insn.rd(), v as i64 as u64);
+            }
+            Op::Sraw => {
+                let v = (self.x(insn.rs1()) as i32) >> (self.x(insn.rs2()) & 31);
+                self.set_x(insn.rd(), v as i64 as u64);
+            }
+            // ---- RV64I: fence and system -------------------------------
+            // A single in-order hart: fences are architectural no-ops.
+            Op::Fence => {}
+            Op::Ecall => return Err(Trap::EnvironmentCall),
+            Op::Ebreak => return Err(Trap::Breakpoint { addr: pc }),
+            // ---- RV64M -------------------------------------------------
+            Op::Mul => {
+                let v = self.x(insn.rs1()).wrapping_mul(self.x(insn.rs2()));
+                self.set_x(insn.rd(), v);
+            }
+            Op::Mulh => {
+                let a = i128::from(self.x(insn.rs1()) as i64);
+                let b = i128::from(self.x(insn.rs2()) as i64);
+                self.set_x(insn.rd(), ((a * b) >> 64) as u64);
+            }
+            Op::Mulhsu => {
+                let a = i128::from(self.x(insn.rs1()) as i64);
+                let b = i128::from(self.x(insn.rs2()));
+                self.set_x(insn.rd(), ((a * b) >> 64) as u64);
+            }
+            Op::Mulhu => {
+                let a = u128::from(self.x(insn.rs1()));
+                let b = u128::from(self.x(insn.rs2()));
+                self.set_x(insn.rd(), ((a * b) >> 64) as u64);
+            }
+            Op::Div => {
+                let (a, b) = (self.x(insn.rs1()) as i64, self.x(insn.rs2()) as i64);
+                let v = if b == 0 { -1 } else { a.wrapping_div(b) };
+                self.set_x(insn.rd(), v as u64);
+            }
+            Op::Divu => {
+                let (a, b) = (self.x(insn.rs1()), self.x(insn.rs2()));
+                self.set_x(insn.rd(), a.checked_div(b).unwrap_or(u64::MAX));
+            }
+            Op::Rem => {
+                let (a, b) = (self.x(insn.rs1()) as i64, self.x(insn.rs2()) as i64);
+                let v = if b == 0 { a } else { a.wrapping_rem(b) };
+                self.set_x(insn.rd(), v as u64);
+            }
+            Op::Remu => {
+                let (a, b) = (self.x(insn.rs1()), self.x(insn.rs2()));
+                let v = if b == 0 { a } else { a % b };
+                self.set_x(insn.rd(), v);
+            }
+            Op::Mulw => {
+                let v = (self.x(insn.rs1()) as i32).wrapping_mul(self.x(insn.rs2()) as i32);
+                self.set_x(insn.rd(), v as i64 as u64);
+            }
+            Op::Divw => {
+                let (a, b) = (self.x(insn.rs1()) as i32, self.x(insn.rs2()) as i32);
+                let v = if b == 0 { -1 } else { a.wrapping_div(b) };
+                self.set_x(insn.rd(), v as i64 as u64);
+            }
+            Op::Divuw => {
+                let (a, b) = (self.x(insn.rs1()) as u32, self.x(insn.rs2()) as u32);
+                let v = a.checked_div(b).unwrap_or(u32::MAX);
+                self.set_x(insn.rd(), v as i32 as i64 as u64);
+            }
+            Op::Remw => {
+                let (a, b) = (self.x(insn.rs1()) as i32, self.x(insn.rs2()) as i32);
+                let v = if b == 0 { a } else { a.wrapping_rem(b) };
+                self.set_x(insn.rd(), v as i64 as u64);
+            }
+            Op::Remuw => {
+                let (a, b) = (self.x(insn.rs1()) as u32, self.x(insn.rs2()) as u32);
+                let v = if b == 0 { a } else { a % b };
+                self.set_x(insn.rd(), v as i32 as i64 as u64);
+            }
+            // ---- RV64A -------------------------------------------------
+            Op::LrW => self.load_reserved(insn, 4)?,
+            Op::LrD => self.load_reserved(insn, 8)?,
+            Op::ScW => self.store_conditional(insn, 4)?,
+            Op::ScD => self.store_conditional(insn, 8)?,
+            Op::AmoswapW => self.amo32(insn, |_, s| s)?,
+            Op::AmoaddW => self.amo32(insn, u32::wrapping_add)?,
+            Op::AmoxorW => self.amo32(insn, |o, s| o ^ s)?,
+            Op::AmoandW => self.amo32(insn, |o, s| o & s)?,
+            Op::AmoorW => self.amo32(insn, |o, s| o | s)?,
+            Op::AmominW => self.amo32(insn, |o, s| (o as i32).min(s as i32) as u32)?,
+            Op::AmomaxW => self.amo32(insn, |o, s| (o as i32).max(s as i32) as u32)?,
+            Op::AmominuW => self.amo32(insn, u32::min)?,
+            Op::AmomaxuW => self.amo32(insn, u32::max)?,
+            Op::AmoswapD => self.amo64(insn, |_, s| s)?,
+            Op::AmoaddD => self.amo64(insn, u64::wrapping_add)?,
+            Op::AmoxorD => self.amo64(insn, |o, s| o ^ s)?,
+            Op::AmoandD => self.amo64(insn, |o, s| o & s)?,
+            Op::AmoorD => self.amo64(insn, |o, s| o | s)?,
+            Op::AmominD => self.amo64(insn, |o, s| (o as i64).min(s as i64) as u64)?,
+            Op::AmomaxD => self.amo64(insn, |o, s| (o as i64).max(s as i64) as u64)?,
+            Op::AmominuD => self.amo64(insn, u64::min)?,
+            Op::AmomaxuD => self.amo64(insn, u64::max)?,
+            // ---- RV64F -------------------------------------------------
+            Op::Flw => self.fp_load(insn, word, 4)?,
+            Op::Fsw => self.fp_store(insn, word, 4)?,
+            Op::FmaddS => self.fp_fma_s(insn, word, false, false)?,
+            Op::FmsubS => self.fp_fma_s(insn, word, false, true)?,
+            Op::FnmsubS => self.fp_fma_s(insn, word, true, false)?,
+            Op::FnmaddS => self.fp_fma_s(insn, word, true, true)?,
+            Op::FaddS => self.fp_bin_s(insn, word, sp::add)?,
+            Op::FsubS => self.fp_bin_s(insn, word, sp::sub)?,
+            Op::FmulS => self.fp_bin_s(insn, word, sp::mul)?,
+            Op::FdivS => self.fp_bin_s(insn, word, sp::div)?,
+            Op::FsqrtS => {
+                self.fp_guard(word)?;
+                let rm = self.resolve_rm(insn, word)?;
+                let (v, flags) = sp::sqrt(self.state.f32(Self::f(insn.rs1())), rm);
+                self.state.set_f32(Self::f(insn.rd()), v);
+                self.accrue(flags);
+            }
+            Op::FsgnjS => self.fsgnj_s(insn, word, 0)?,
+            Op::FsgnjnS => self.fsgnj_s(insn, word, 1)?,
+            Op::FsgnjxS => self.fsgnj_s(insn, word, 2)?,
+            Op::FminS => self.fp_bin_s(insn, word, |a, b, _| sp::min(a, b))?,
+            Op::FmaxS => self.fp_bin_s(insn, word, |a, b, _| sp::max(a, b))?,
+            Op::FeqS => self.fp_cmp_s(insn, word, sp::feq)?,
+            Op::FltS => self.fp_cmp_s(insn, word, sp::flt)?,
+            Op::FleS => self.fp_cmp_s(insn, word, sp::fle)?,
+            Op::FclassS => {
+                self.fp_guard(word)?;
+                let v = sp::fclass(self.state.f32(Self::f(insn.rs1())));
+                self.set_x(insn.rd(), v);
+            }
+            Op::FcvtWS => self.fcvt_to_int_s(insn, word, |v, rm| {
+                let (r, f) = fpu::f32_to_i32(v, rm);
+                (r as i64 as u64, f)
+            })?,
+            Op::FcvtWuS => self.fcvt_to_int_s(insn, word, |v, rm| {
+                let (r, f) = fpu::f32_to_u32(v, rm);
+                (r as i32 as i64 as u64, f)
+            })?,
+            Op::FcvtLS => self.fcvt_to_int_s(insn, word, |v, rm| {
+                let (r, f) = fpu::f32_to_i64(v, rm);
+                (r as u64, f)
+            })?,
+            Op::FcvtLuS => self.fcvt_to_int_s(insn, word, fpu::f32_to_u64)?,
+            Op::FcvtSW => {
+                let v = i128::from(self.x(insn.rs1()) as i32);
+                self.fcvt_from_int_s(insn, word, v)?;
+            }
+            Op::FcvtSWu => {
+                let v = i128::from(self.x(insn.rs1()) as u32);
+                self.fcvt_from_int_s(insn, word, v)?;
+            }
+            Op::FcvtSL => {
+                let v = i128::from(self.x(insn.rs1()) as i64);
+                self.fcvt_from_int_s(insn, word, v)?;
+            }
+            Op::FcvtSLu => {
+                let v = i128::from(self.x(insn.rs1()));
+                self.fcvt_from_int_s(insn, word, v)?;
+            }
+            Op::FmvXW => {
+                self.fp_guard(word)?;
+                let bits = self.state.f_bits(Self::f(insn.rs1())) as u32;
+                self.set_x(insn.rd(), bits as i32 as i64 as u64);
+            }
+            Op::FmvWX => {
+                self.fp_guard(word)?;
+                let bits = self.x(insn.rs1()) as u32;
+                self.state.set_f32(Self::f(insn.rd()), f32::from_bits(bits));
+            }
+            // ---- RV64D -------------------------------------------------
+            Op::Fld => self.fp_load(insn, word, 8)?,
+            Op::Fsd => self.fp_store(insn, word, 8)?,
+            Op::FmaddD => self.fp_fma_d(insn, word, false, false)?,
+            Op::FmsubD => self.fp_fma_d(insn, word, false, true)?,
+            Op::FnmsubD => self.fp_fma_d(insn, word, true, false)?,
+            Op::FnmaddD => self.fp_fma_d(insn, word, true, true)?,
+            Op::FaddD => self.fp_bin_d(insn, word, dp::add)?,
+            Op::FsubD => self.fp_bin_d(insn, word, dp::sub)?,
+            Op::FmulD => self.fp_bin_d(insn, word, dp::mul)?,
+            Op::FdivD => self.fp_bin_d(insn, word, dp::div)?,
+            Op::FsqrtD => {
+                self.fp_guard(word)?;
+                let rm = self.resolve_rm(insn, word)?;
+                let (v, flags) = dp::sqrt(self.state.f64(Self::f(insn.rs1())), rm);
+                self.state.set_f64(Self::f(insn.rd()), v);
+                self.accrue(flags);
+            }
+            Op::FsgnjD => self.fsgnj_d(insn, word, 0)?,
+            Op::FsgnjnD => self.fsgnj_d(insn, word, 1)?,
+            Op::FsgnjxD => self.fsgnj_d(insn, word, 2)?,
+            Op::FminD => self.fp_bin_d(insn, word, |a, b, _| dp::min(a, b))?,
+            Op::FmaxD => self.fp_bin_d(insn, word, |a, b, _| dp::max(a, b))?,
+            Op::FeqD => self.fp_cmp_d(insn, word, dp::feq)?,
+            Op::FltD => self.fp_cmp_d(insn, word, dp::flt)?,
+            Op::FleD => self.fp_cmp_d(insn, word, dp::fle)?,
+            Op::FclassD => {
+                self.fp_guard(word)?;
+                let v = dp::fclass(self.state.f64(Self::f(insn.rs1())));
+                self.set_x(insn.rd(), v);
+            }
+            Op::FcvtSD => {
+                self.fp_guard(word)?;
+                let rm = self.resolve_rm(insn, word)?;
+                let (v, flags) = fpu::f64_to_f32(self.state.f64(Self::f(insn.rs1())), rm);
+                self.state.set_f32(Self::f(insn.rd()), v);
+                self.accrue(flags);
+            }
+            Op::FcvtDS => {
+                self.fp_guard(word)?;
+                let (v, flags) = fpu::f32_to_f64(self.state.f32(Self::f(insn.rs1())));
+                self.state.set_f64(Self::f(insn.rd()), v);
+                self.accrue(flags);
+            }
+            Op::FcvtWD => self.fcvt_to_int_d(insn, word, |v, rm| {
+                let (r, f) = fpu::f64_to_i32(v, rm);
+                (r as i64 as u64, f)
+            })?,
+            Op::FcvtWuD => self.fcvt_to_int_d(insn, word, |v, rm| {
+                let (r, f) = fpu::f64_to_u32(v, rm);
+                (r as i32 as i64 as u64, f)
+            })?,
+            Op::FcvtLD => self.fcvt_to_int_d(insn, word, |v, rm| {
+                let (r, f) = fpu::f64_to_i64(v, rm);
+                (r as u64, f)
+            })?,
+            Op::FcvtLuD => self.fcvt_to_int_d(insn, word, fpu::f64_to_u64)?,
+            Op::FcvtDW => {
+                let v = i128::from(self.x(insn.rs1()) as i32);
+                self.fcvt_from_int_d(insn, word, v)?;
+            }
+            Op::FcvtDWu => {
+                let v = i128::from(self.x(insn.rs1()) as u32);
+                self.fcvt_from_int_d(insn, word, v)?;
+            }
+            Op::FcvtDL => {
+                let v = i128::from(self.x(insn.rs1()) as i64);
+                self.fcvt_from_int_d(insn, word, v)?;
+            }
+            Op::FcvtDLu => {
+                let v = i128::from(self.x(insn.rs1()));
+                self.fcvt_from_int_d(insn, word, v)?;
+            }
+            Op::FmvXD => {
+                self.fp_guard(word)?;
+                let bits = self.state.f_bits(Self::f(insn.rs1()));
+                self.set_x(insn.rd(), bits);
+            }
+            Op::FmvDX => {
+                self.fp_guard(word)?;
+                let bits = self.x(insn.rs1());
+                self.state.set_f_bits(Self::f(insn.rd()), bits);
+            }
+            // ---- Zicsr -------------------------------------------------
+            Op::Csrrw | Op::Csrrs | Op::Csrrc | Op::Csrrwi | Op::Csrrsi | Op::Csrrci => {
+                self.csr_op(insn, word)?;
+            }
+        }
+        self.state.set_pc(next);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tf_riscv::{BranchOffset, Gpr, Reg};
+
+    fn x(i: u8) -> Gpr {
+        Gpr::new(i).unwrap()
+    }
+
+    fn hart_with(program: &[Instruction]) -> Hart {
+        let mut hart = Hart::new(1 << 20);
+        hart.load_program(0, program).unwrap();
+        hart
+    }
+
+    #[test]
+    fn addi_add_sequence_retires() {
+        let program = [
+            Instruction::i_type(Opcode::Addi, x(1), Gpr::ZERO, 5).unwrap(),
+            Instruction::i_type(Opcode::Addi, x(2), Gpr::ZERO, 7).unwrap(),
+            Instruction::r_type(Opcode::Add, x(3), x(1), x(2)),
+        ];
+        let mut hart = hart_with(&program);
+        for _ in 0..3 {
+            assert!(matches!(hart.step(), StepOutcome::Retired(_)));
+        }
+        assert_eq!(hart.state().x(x(3)), 12);
+        assert_eq!(hart.state().pc(), 12);
+    }
+
+    #[test]
+    fn x0_writes_are_discarded() {
+        let program = [Instruction::i_type(Opcode::Addi, Gpr::ZERO, Gpr::ZERO, 42).unwrap()];
+        let mut hart = hart_with(&program);
+        hart.step();
+        assert_eq!(hart.state().x(Gpr::ZERO), 0);
+    }
+
+    #[test]
+    fn branch_taken_and_not_taken() {
+        let off = BranchOffset::new(8).unwrap();
+        let program = [
+            Instruction::b_type(Opcode::Beq, Gpr::ZERO, Gpr::ZERO, off),
+            Instruction::nop(),
+            Instruction::i_type(Opcode::Addi, x(1), Gpr::ZERO, 1).unwrap(),
+        ];
+        let mut hart = hart_with(&program);
+        hart.step();
+        assert_eq!(hart.state().pc(), 8);
+        hart.step();
+        assert_eq!(hart.state().x(x(1)), 1);
+    }
+
+    #[test]
+    fn traps_vector_to_mtvec_and_record_cause() {
+        let mut hart = Hart::new(1 << 20);
+        hart.state_mut()
+            .csrs_mut()
+            .write(csr::MTVEC, 0x100)
+            .unwrap();
+        // pc = 0 holds zeros: an illegal instruction.
+        let outcome = hart.step();
+        assert!(matches!(
+            outcome,
+            StepOutcome::Trapped(Trap::IllegalInstruction { word: 0 })
+        ));
+        assert_eq!(hart.state().pc(), 0x100);
+        assert_eq!(hart.state().csrs().read(csr::MEPC), Some(0));
+        assert_eq!(hart.state().csrs().read(csr::MCAUSE), Some(2));
+    }
+
+    #[test]
+    fn fetch_outside_memory_faults() {
+        let mut hart = Hart::new(64);
+        hart.state_mut().set_pc(128);
+        assert!(matches!(
+            hart.step(),
+            StepOutcome::Trapped(Trap::InstructionFault { addr: 128 })
+        ));
+    }
+
+    #[test]
+    fn misaligned_load_traps_with_address() {
+        let program = [Instruction::i_type(Opcode::Lw, x(1), Gpr::ZERO, 2).unwrap()];
+        let mut hart = hart_with(&program);
+        assert!(matches!(
+            hart.step(),
+            StepOutcome::Trapped(Trap::LoadMisaligned { addr: 2 })
+        ));
+    }
+
+    #[test]
+    fn ecall_and_ebreak_end_runs() {
+        let program = [Instruction::nop(), Instruction::system(Opcode::Ebreak)];
+        let mut hart = hart_with(&program);
+        assert_eq!(hart.run(10), RunExit::Breakpoint { steps: 2 });
+        let program = [Instruction::system(Opcode::Ecall)];
+        let mut hart = hart_with(&program);
+        assert_eq!(hart.run(10), RunExit::EnvironmentCall { steps: 1 });
+        let mut hart = hart_with(&[Instruction::nop()]);
+        assert_eq!(hart.run(1), RunExit::OutOfGas);
+    }
+
+    #[test]
+    fn lr_sc_pair_succeeds_and_stale_sc_fails() {
+        let program = [
+            Instruction::amo(Opcode::LrW, x(1), x(5), Gpr::ZERO, false, false).unwrap(),
+            Instruction::amo(Opcode::ScW, x(2), x(5), x(6), false, false).unwrap(),
+            Instruction::amo(Opcode::ScW, x(3), x(5), x(6), false, false).unwrap(),
+        ];
+        let mut hart = hart_with(&program);
+        hart.state_mut().set_x(x(5), 0x200);
+        hart.state_mut().set_x(x(6), 77);
+        hart.mem_mut().store_u32(0x200, 33).unwrap();
+        hart.step();
+        assert_eq!(hart.state().x(x(1)), 33);
+        hart.step();
+        assert_eq!(hart.state().x(x(2)), 0, "sc with reservation succeeds");
+        assert_eq!(hart.mem().load_u32(0x200), Some(77));
+        hart.step();
+        assert_eq!(hart.state().x(x(3)), 1, "second sc fails");
+        assert_eq!(hart.mem().load_u32(0x200), Some(77));
+    }
+
+    #[test]
+    fn amo_returns_old_value_sign_extended() {
+        let program = [Instruction::amo(Opcode::AmoaddW, x(1), x(5), x(6), false, false).unwrap()];
+        let mut hart = hart_with(&program);
+        hart.state_mut().set_x(x(5), 0x300);
+        hart.state_mut().set_x(x(6), 1);
+        hart.mem_mut().store_u32(0x300, 0xFFFF_FFFF).unwrap();
+        hart.step();
+        assert_eq!(hart.state().x(x(1)), u64::MAX, "old -1 sign-extends");
+        assert_eq!(hart.mem().load_u32(0x300), Some(0));
+    }
+
+    #[test]
+    fn dynamic_reserved_frm_is_illegal() {
+        use tf_riscv::{Fpr, RoundingMode};
+        let f1 = Fpr::new(1).unwrap();
+        let program =
+            [Instruction::fp_r_type(Opcode::FaddS, f1, f1, f1, Some(RoundingMode::Dyn)).unwrap()];
+        let mut hart = hart_with(&program);
+        // frm = 0b101 is reserved: executing a Dyn-rm instruction traps.
+        hart.state_mut().csrs_mut().write(csr::FRM, 0b101).unwrap();
+        assert!(matches!(
+            hart.step(),
+            StepOutcome::Trapped(Trap::IllegalInstruction { .. })
+        ));
+    }
+
+    #[test]
+    fn fp_off_makes_fp_illegal() {
+        use tf_riscv::{Fpr, RoundingMode};
+        let f1 = Fpr::new(1).unwrap();
+        let program =
+            [Instruction::fp_r_type(Opcode::FaddD, f1, f1, f1, Some(RoundingMode::Rne)).unwrap()];
+        let mut hart = hart_with(&program);
+        hart.state_mut().csrs_mut().write(csr::MSTATUS, 0).unwrap();
+        assert!(matches!(
+            hart.step(),
+            StepOutcome::Trapped(Trap::IllegalInstruction { .. })
+        ));
+    }
+
+    #[test]
+    fn csr_set_clear_and_readonly() {
+        let program = [
+            Instruction::csr_imm(Opcode::Csrrsi, x(1), csr::FFLAGS, 0b101).unwrap(),
+            Instruction::csr_imm(Opcode::Csrrci, x(2), csr::FFLAGS, 0b001).unwrap(),
+            Instruction::csr_reg(Opcode::Csrrs, x(3), csr::FFLAGS, Gpr::ZERO).unwrap(),
+            Instruction::csr_reg(Opcode::Csrrw, x(4), csr::MHARTID, x(5)).unwrap(),
+        ];
+        let mut hart = hart_with(&program);
+        hart.step();
+        assert_eq!(hart.state().x(x(1)), 0);
+        hart.step();
+        assert_eq!(hart.state().x(x(2)), 0b101);
+        hart.step();
+        assert_eq!(hart.state().x(x(3)), 0b100);
+        // Writing the read-only mhartid traps.
+        assert!(matches!(
+            hart.step(),
+            StepOutcome::Trapped(Trap::IllegalInstruction { .. })
+        ));
+        // But csrrs rd-only (rs1=x0) on a read-only CSR is a pure read.
+        let program = [Instruction::csr_reg(Opcode::Csrrs, x(1), csr::MHARTID, Gpr::ZERO).unwrap()];
+        let mut hart = hart_with(&program);
+        assert!(matches!(hart.step(), StepOutcome::Retired(_)));
+        assert_eq!(hart.state().x(x(1)), 0);
+    }
+
+    #[test]
+    fn tracing_records_defs_and_digest() {
+        let program = [
+            Instruction::i_type(Opcode::Addi, x(1), Gpr::ZERO, 9).unwrap(),
+            Instruction::s_type(Opcode::Sd, Gpr::ZERO, x(1), 0x80).unwrap(),
+        ];
+        let mut hart = hart_with(&program);
+        hart.enable_tracing();
+        hart.step();
+        hart.step();
+        let trace = hart.take_trace().unwrap();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.entries()[0].def, Some((Reg::X(x(1)), 9)));
+        assert_eq!(trace.entries()[1].def, None, "stores define no register");
+        assert_ne!(trace.digest(), ExecutionTrace::new().digest());
+    }
+
+    #[test]
+    fn digest_reflects_memory_and_registers() {
+        let a = Hart::new(1 << 20);
+        let mut b = Hart::new(1 << 20);
+        assert_eq!(a.digest(), b.digest());
+        b.mem_mut().store_u8(0, 1).unwrap();
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn minstret_counts_only_retired() {
+        let program = [Instruction::nop(), Instruction::system(Opcode::Ecall)];
+        let mut hart = hart_with(&program);
+        hart.run(10);
+        assert_eq!(hart.state().csrs().read(csr::MINSTRET), Some(1));
+        assert_eq!(hart.state().csrs().read(csr::MCYCLE), Some(2));
+    }
+}

@@ -1,0 +1,233 @@
+//! Sparse paged physical memory with little-endian typed accessors.
+//!
+//! Pages are allocated on first write; reads of untouched pages return
+//! zeros without allocating, so a multi-gigabyte guest address space costs
+//! only what the program actually dirties. Accesses are bounds-checked
+//! against the configured size — the hart turns a `None` into the matching
+//! access-fault [`Trap`](crate::Trap) — while alignment policy lives in the
+//! hart, because the trap cause depends on the instruction, not the memory.
+
+use std::collections::BTreeMap;
+
+use crate::trace::Fnv;
+
+/// Bytes per backing page.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Sparse paged byte-addressable memory of a configurable size.
+///
+/// All typed accessors are little-endian, matching RISC-V.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: BTreeMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    size: u64,
+}
+
+impl Memory {
+    /// Create a memory of `size` bytes; valid addresses are `0..size`.
+    #[must_use]
+    pub fn new(size: u64) -> Self {
+        Memory {
+            pages: BTreeMap::new(),
+            size,
+        }
+    }
+
+    /// The configured size in bytes.
+    #[must_use]
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// True when the `len`-byte range starting at `addr` is in bounds.
+    #[must_use]
+    pub fn contains(&self, addr: u64, len: u64) -> bool {
+        addr.checked_add(len).is_some_and(|end| end <= self.size)
+    }
+
+    fn page(&self, index: u64) -> Option<&[u8; PAGE_SIZE as usize]> {
+        self.pages.get(&index).map(|p| &**p)
+    }
+
+    fn page_mut(&mut self, index: u64) -> &mut [u8; PAGE_SIZE as usize] {
+        self.pages
+            .entry(index)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE as usize]))
+    }
+
+    /// Read `N` bytes starting at `addr`, or `None` when out of bounds.
+    ///
+    /// Unaligned and page-crossing reads are supported; the typed helpers
+    /// below are the common aligned fast path.
+    #[must_use]
+    pub fn read<const N: usize>(&self, addr: u64) -> Option<[u8; N]> {
+        if !self.contains(addr, N as u64) {
+            return None;
+        }
+        let mut out = [0u8; N];
+        let offset = (addr % PAGE_SIZE) as usize;
+        if offset + N <= PAGE_SIZE as usize {
+            if let Some(page) = self.page(addr / PAGE_SIZE) {
+                out.copy_from_slice(&page[offset..offset + N]);
+            }
+        } else {
+            for (i, byte) in out.iter_mut().enumerate() {
+                let a = addr + i as u64;
+                *byte = self
+                    .page(a / PAGE_SIZE)
+                    .map_or(0, |p| p[(a % PAGE_SIZE) as usize]);
+            }
+        }
+        Some(out)
+    }
+
+    /// Write `N` bytes starting at `addr`; `None` when out of bounds (the
+    /// write is not performed).
+    #[must_use = "an out-of-bounds store must raise a trap"]
+    pub fn write<const N: usize>(&mut self, addr: u64, bytes: [u8; N]) -> Option<()> {
+        if !self.contains(addr, N as u64) {
+            return None;
+        }
+        let offset = (addr % PAGE_SIZE) as usize;
+        if offset + N <= PAGE_SIZE as usize {
+            self.page_mut(addr / PAGE_SIZE)[offset..offset + N].copy_from_slice(&bytes);
+        } else {
+            for (i, byte) in bytes.iter().enumerate() {
+                let a = addr + i as u64;
+                self.page_mut(a / PAGE_SIZE)[(a % PAGE_SIZE) as usize] = *byte;
+            }
+        }
+        Some(())
+    }
+
+    /// Load one byte.
+    #[must_use]
+    pub fn load_u8(&self, addr: u64) -> Option<u8> {
+        self.read::<1>(addr).map(|b| b[0])
+    }
+
+    /// Load a little-endian halfword.
+    #[must_use]
+    pub fn load_u16(&self, addr: u64) -> Option<u16> {
+        self.read::<2>(addr).map(u16::from_le_bytes)
+    }
+
+    /// Load a little-endian word.
+    #[must_use]
+    pub fn load_u32(&self, addr: u64) -> Option<u32> {
+        self.read::<4>(addr).map(u32::from_le_bytes)
+    }
+
+    /// Load a little-endian doubleword.
+    #[must_use]
+    pub fn load_u64(&self, addr: u64) -> Option<u64> {
+        self.read::<8>(addr).map(u64::from_le_bytes)
+    }
+
+    /// Store one byte.
+    #[must_use = "an out-of-bounds store must raise a trap"]
+    pub fn store_u8(&mut self, addr: u64, value: u8) -> Option<()> {
+        self.write(addr, [value])
+    }
+
+    /// Store a little-endian halfword.
+    #[must_use = "an out-of-bounds store must raise a trap"]
+    pub fn store_u16(&mut self, addr: u64, value: u16) -> Option<()> {
+        self.write(addr, value.to_le_bytes())
+    }
+
+    /// Store a little-endian word.
+    #[must_use = "an out-of-bounds store must raise a trap"]
+    pub fn store_u32(&mut self, addr: u64, value: u32) -> Option<()> {
+        self.write(addr, value.to_le_bytes())
+    }
+
+    /// Store a little-endian doubleword.
+    #[must_use = "an out-of-bounds store must raise a trap"]
+    pub fn store_u64(&mut self, addr: u64, value: u64) -> Option<()> {
+        self.write(addr, value.to_le_bytes())
+    }
+
+    /// Number of pages currently backed by real storage.
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Deterministic FNV-1a digest over every dirtied page (index and
+    /// contents). Untouched pages read as zero and an all-zero dirtied page
+    /// hashes like an untouched one, so logically equal memories digest
+    /// equally.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut fnv = Fnv::new();
+        fnv.write_u64(self.size);
+        for (index, page) in &self.pages {
+            if page.iter().all(|&b| b == 0) {
+                continue;
+            }
+            fnv.write_u64(*index);
+            fnv.write_bytes(&page[..]);
+        }
+        fnv.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_memory_reads_zero_without_allocating() {
+        let mem = Memory::new(1 << 20);
+        assert_eq!(mem.load_u64(0x1234), Some(0));
+        assert_eq!(mem.resident_pages(), 0);
+    }
+
+    #[test]
+    fn round_trips_little_endian() {
+        let mut mem = Memory::new(1 << 20);
+        mem.store_u32(0x100, 0xDEAD_BEEF).unwrap();
+        assert_eq!(mem.load_u32(0x100), Some(0xDEAD_BEEF));
+        assert_eq!(mem.load_u8(0x100), Some(0xEF));
+        assert_eq!(mem.load_u8(0x103), Some(0xDE));
+        mem.store_u64(0x200, u64::MAX).unwrap();
+        assert_eq!(mem.load_u64(0x200), Some(u64::MAX));
+        assert_eq!(mem.load_u16(0x206), Some(0xFFFF));
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let mut mem = Memory::new(4096);
+        assert_eq!(mem.load_u8(4096), None);
+        assert_eq!(mem.load_u64(4089), None);
+        assert_eq!(mem.load_u64(4088), Some(0));
+        assert_eq!(mem.store_u32(4094, 1), None);
+        // The rejected store must not partially commit.
+        assert_eq!(mem.load_u16(4094), Some(0));
+        // Address arithmetic must not wrap.
+        assert_eq!(mem.load_u64(u64::MAX - 3), None);
+    }
+
+    #[test]
+    fn page_crossing_accesses_work() {
+        let mut mem = Memory::new(3 * PAGE_SIZE);
+        let addr = PAGE_SIZE - 3;
+        mem.store_u64(addr, 0x0102_0304_0506_0708).unwrap();
+        assert_eq!(mem.load_u64(addr), Some(0x0102_0304_0506_0708));
+        assert_eq!(mem.resident_pages(), 2);
+    }
+
+    #[test]
+    fn digest_ignores_zero_pages_and_sees_writes() {
+        let mut a = Memory::new(1 << 20);
+        let b = Memory::new(1 << 20);
+        assert_eq!(a.digest(), b.digest());
+        // Dirtying a page with zeros keeps the digest equal.
+        a.store_u64(0x40, 0).unwrap();
+        assert_eq!(a.digest(), b.digest());
+        a.store_u64(0x40, 7).unwrap();
+        assert_ne!(a.digest(), b.digest());
+        assert_ne!(Memory::new(64).digest(), Memory::new(128).digest());
+    }
+}

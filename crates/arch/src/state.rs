@@ -1,0 +1,411 @@
+//! Architectural state: program counter, register files and CSRs.
+
+use tf_riscv::csr::{self, mi, mstatus, mtvec, CsrAddr};
+use tf_riscv::{Fpr, Gpr};
+
+use crate::trace::Fnv;
+
+/// `misa` for this model: RV64 (MXL=2) with the I, M, A, F, D extensions.
+pub const MISA: u64 = (2 << 62) | (1 << 0) | (1 << 3) | (1 << 5) | (1 << 8) | (1 << 12);
+
+/// All-ones upper half used to NaN-box single-precision values in the
+/// 64-bit FP registers.
+const NAN_BOX: u64 = 0xFFFF_FFFF_0000_0000;
+
+/// Bit pattern of the canonical single-precision quiet NaN.
+pub const CANONICAL_NAN_F32: u32 = 0x7FC0_0000;
+
+/// The machine-mode control-and-status-register file.
+///
+/// Only the CSRs in [`tf_riscv::csr::ALL`] exist; accesses to any other
+/// address are reported as `None` and become illegal-instruction traps in
+/// the hart. WARL fields are legalised on write exactly once, here, so
+/// every stored value is architecturally valid.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CsrFile {
+    fcsr: u64,
+    mstatus: u64,
+    mie: u64,
+    mip: u64,
+    mtvec: u64,
+    mepc: u64,
+    mcause: u64,
+    mtval: u64,
+    mcycle: u64,
+    minstret: u64,
+    sepc: u64,
+    scause: u64,
+    stval: u64,
+}
+
+impl CsrFile {
+    /// Reset state: everything zero except `mstatus.FS`, which starts
+    /// dirty so floating-point instructions work out of reset.
+    #[must_use]
+    pub fn new() -> Self {
+        CsrFile {
+            mstatus: (mstatus::FS_DIRTY << mstatus::FS_SHIFT) | mstatus::MPP_MACHINE,
+            ..Self::default()
+        }
+    }
+
+    /// Read a CSR. `None` means the register does not exist in this model
+    /// (the hart raises an illegal-instruction trap).
+    #[must_use]
+    pub fn read(&self, addr: CsrAddr) -> Option<u64> {
+        Some(match addr {
+            csr::FFLAGS => self.fcsr & csr::fflags::MASK,
+            csr::FRM => u64::from(csr::fcsr::frm(self.fcsr)),
+            csr::FCSR => self.fcsr & 0xFF,
+            csr::MSTATUS => {
+                // SD (bit 63) summarises a dirty FS field.
+                let sd = u64::from(mstatus::fs(self.mstatus) == mstatus::FS_DIRTY) << 63;
+                self.mstatus | sd
+            }
+            csr::MISA => MISA,
+            csr::MIE => self.mie,
+            csr::MIP => self.mip,
+            csr::MTVEC => self.mtvec,
+            csr::MEPC => self.mepc,
+            csr::MCAUSE => self.mcause,
+            csr::MTVAL => self.mtval,
+            csr::MCYCLE | csr::CYCLE => self.mcycle,
+            csr::MINSTRET | csr::INSTRET => self.minstret,
+            csr::MHARTID => 0,
+            csr::SEPC => self.sepc,
+            csr::SCAUSE => self.scause,
+            csr::STVAL => self.stval,
+            _ => return None,
+        })
+    }
+
+    /// Write a CSR, legalising WARL fields. `None` means the register does
+    /// not exist or is read-only (illegal-instruction trap in the hart).
+    #[must_use = "a rejected csr write must raise a trap"]
+    pub fn write(&mut self, addr: CsrAddr, value: u64) -> Option<()> {
+        match addr {
+            csr::FFLAGS => {
+                self.fcsr = (self.fcsr & !csr::fflags::MASK) | (value & csr::fflags::MASK);
+            }
+            csr::FRM => self.fcsr = (self.fcsr & !0xE0) | ((value & 0b111) << 5),
+            csr::FCSR => self.fcsr = value & 0xFF,
+            csr::MSTATUS => {
+                let mask = mstatus::MIE | mstatus::MPIE | mstatus::MPP_MASK | mstatus::FS_MASK;
+                self.mstatus = value & mask;
+            }
+            // `misa` is WARL; this model hardwires it and ignores writes.
+            csr::MISA => {}
+            csr::MIE => self.mie = value & mi::MASK,
+            csr::MIP => self.mip = value & mi::MASK,
+            // Direct mode only: the mode field is WARL-fixed to zero.
+            csr::MTVEC => self.mtvec = mtvec::base(value),
+            // IALIGN=32: the low two bits of an exception pc read as zero.
+            csr::MEPC => self.mepc = value & !0b11,
+            csr::MCAUSE => self.mcause = value,
+            csr::MTVAL => self.mtval = value,
+            csr::MCYCLE => self.mcycle = value,
+            csr::MINSTRET => self.minstret = value,
+            csr::SEPC => self.sepc = value & !0b11,
+            csr::SCAUSE => self.scause = value,
+            csr::STVAL => self.stval = value,
+            // cycle/instret/mhartid live in read-only address space.
+            _ => return None,
+        }
+        Some(())
+    }
+
+    /// The dynamic rounding-mode field `fcsr.frm`.
+    #[must_use]
+    pub fn frm(&self) -> u8 {
+        csr::fcsr::frm(self.fcsr)
+    }
+
+    /// Accrue floating-point exception flags (bitwise OR into `fflags`).
+    pub fn accrue_fflags(&mut self, flags: u64) {
+        self.fcsr |= flags & csr::fflags::MASK;
+    }
+
+    /// True when `mstatus.FS` is off, i.e. FP instructions must trap.
+    #[must_use]
+    pub fn fp_off(&self) -> bool {
+        mstatus::fs(self.mstatus) == mstatus::FS_OFF
+    }
+
+    /// Mark the FP unit state dirty (after any FP register or `fcsr`
+    /// write).
+    pub fn set_fp_dirty(&mut self) {
+        self.mstatus |= mstatus::FS_DIRTY << mstatus::FS_SHIFT;
+    }
+
+    /// Record trap entry: stash the interrupt-enable bit, save `pc` and
+    /// cause, and return the trap-handler address.
+    pub fn enter_trap(&mut self, pc: u64, cause: u64, tval: u64) -> u64 {
+        let mie = self.mstatus & mstatus::MIE;
+        self.mstatus &= !(mstatus::MIE | mstatus::MPIE | mstatus::MPP_MASK);
+        // MPIE <- MIE, MIE <- 0, MPP <- machine.
+        self.mstatus |= (mie << 4) | mstatus::MPP_MACHINE;
+        self.mepc = pc & !0b11;
+        self.mcause = cause;
+        self.mtval = tval;
+        mtvec::base(self.mtvec)
+    }
+
+    /// Advance the cycle counter (called once per step).
+    pub fn bump_cycle(&mut self) {
+        self.mcycle = self.mcycle.wrapping_add(1);
+    }
+
+    /// Advance the retired-instruction counter.
+    pub fn bump_instret(&mut self) {
+        self.minstret = self.minstret.wrapping_add(1);
+    }
+
+    fn digest_into(&self, fnv: &mut Fnv) {
+        for value in [
+            self.fcsr,
+            self.mstatus,
+            self.mie,
+            self.mip,
+            self.mtvec,
+            self.mepc,
+            self.mcause,
+            self.mtval,
+            self.sepc,
+            self.scause,
+            self.stval,
+        ] {
+            fnv.write_u64(value);
+        }
+    }
+}
+
+/// The complete architectural register state of one hart.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchState {
+    pc: u64,
+    gprs: [u64; 32],
+    fprs: [u64; 32],
+    csrs: CsrFile,
+}
+
+impl Default for ArchState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ArchState {
+    /// Reset state: `pc` and every register zero, CSRs at their reset
+    /// values.
+    #[must_use]
+    pub fn new() -> Self {
+        ArchState {
+            pc: 0,
+            gprs: [0; 32],
+            fprs: [0; 32],
+            csrs: CsrFile::new(),
+        }
+    }
+
+    /// The program counter.
+    #[must_use]
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Set the program counter.
+    pub fn set_pc(&mut self, pc: u64) {
+        self.pc = pc;
+    }
+
+    /// Read an integer register; `x0` always reads zero.
+    #[must_use]
+    pub fn x(&self, reg: Gpr) -> u64 {
+        self.gprs[usize::from(reg.index())]
+    }
+
+    /// Write an integer register; writes to `x0` are discarded.
+    pub fn set_x(&mut self, reg: Gpr, value: u64) {
+        if !reg.is_zero() {
+            self.gprs[usize::from(reg.index())] = value;
+        }
+    }
+
+    /// Read the raw 64-bit contents of an FP register.
+    #[must_use]
+    pub fn f_bits(&self, reg: Fpr) -> u64 {
+        self.fprs[usize::from(reg.index())]
+    }
+
+    /// Write the raw 64-bit contents of an FP register.
+    pub fn set_f_bits(&mut self, reg: Fpr, bits: u64) {
+        self.fprs[usize::from(reg.index())] = bits;
+        self.csrs.set_fp_dirty();
+    }
+
+    /// Read an FP register as a double-precision value.
+    #[must_use]
+    pub fn f64(&self, reg: Fpr) -> f64 {
+        f64::from_bits(self.f_bits(reg))
+    }
+
+    /// Write a double-precision value to an FP register.
+    pub fn set_f64(&mut self, reg: Fpr, value: f64) {
+        self.set_f_bits(reg, value.to_bits());
+    }
+
+    /// Read an FP register as a single-precision value, unboxing the
+    /// NaN-boxed representation: an improperly boxed value reads as the
+    /// canonical NaN, as the F extension requires.
+    #[must_use]
+    pub fn f32(&self, reg: Fpr) -> f32 {
+        let bits = self.f_bits(reg);
+        if bits & NAN_BOX == NAN_BOX {
+            f32::from_bits(bits as u32)
+        } else {
+            f32::from_bits(CANONICAL_NAN_F32)
+        }
+    }
+
+    /// Write a single-precision value to an FP register, NaN-boxing it.
+    pub fn set_f32(&mut self, reg: Fpr, value: f32) {
+        self.set_f_bits(reg, NAN_BOX | u64::from(value.to_bits()));
+    }
+
+    /// The CSR file.
+    #[must_use]
+    pub fn csrs(&self) -> &CsrFile {
+        &self.csrs
+    }
+
+    /// The CSR file, mutably.
+    pub fn csrs_mut(&mut self) -> &mut CsrFile {
+        &mut self.csrs
+    }
+
+    /// Deterministic FNV-1a digest of the complete register state: `pc`,
+    /// both register files and every CSR except the free-running counters
+    /// (`mcycle`/`minstret`), which differ between equal executions that
+    /// merely idled differently.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut fnv = Fnv::new();
+        fnv.write_u64(self.pc);
+        for value in self.gprs.iter().chain(self.fprs.iter()) {
+            fnv.write_u64(*value);
+        }
+        self.csrs.digest_into(&mut fnv);
+        fnv.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x(i: u8) -> Gpr {
+        Gpr::new(i).unwrap()
+    }
+
+    fn f(i: u8) -> Fpr {
+        Fpr::new(i).unwrap()
+    }
+
+    #[test]
+    fn x0_is_hardwired_zero() {
+        let mut s = ArchState::new();
+        s.set_x(Gpr::ZERO, 0xDEAD);
+        assert_eq!(s.x(Gpr::ZERO), 0);
+        s.set_x(x(5), 0xDEAD);
+        assert_eq!(s.x(x(5)), 0xDEAD);
+    }
+
+    #[test]
+    fn f32_nan_boxing_round_trips() {
+        let mut s = ArchState::new();
+        s.set_f32(f(1), 1.5);
+        assert_eq!(s.f32(f(1)), 1.5);
+        assert_eq!(s.f_bits(f(1)) >> 32, 0xFFFF_FFFF);
+        // An improperly boxed value unboxes to the canonical NaN.
+        s.set_f_bits(f(2), 0x0000_0001_3F80_0000);
+        assert!(s.f32(f(2)).is_nan());
+        assert_eq!(s.f32(f(2)).to_bits(), CANONICAL_NAN_F32);
+    }
+
+    #[test]
+    fn fcsr_views_are_consistent() {
+        let mut c = CsrFile::new();
+        c.write(csr::FRM, 0b010).unwrap();
+        c.accrue_fflags(csr::fflags::NX | csr::fflags::OF);
+        assert_eq!(c.read(csr::FRM), Some(0b010));
+        assert_eq!(c.read(csr::FFLAGS), Some(csr::fflags::NX | csr::fflags::OF));
+        assert_eq!(c.read(csr::FCSR), Some(0b010 << 5 | 0b101));
+        c.write(csr::FCSR, 0xFF).unwrap();
+        assert_eq!(c.read(csr::FRM), Some(0b111));
+        assert_eq!(c.read(csr::FFLAGS), Some(0x1F));
+    }
+
+    #[test]
+    fn warl_fields_are_legalised() {
+        let mut c = CsrFile::new();
+        c.write(csr::MTVEC, 0x1003).unwrap();
+        assert_eq!(c.read(csr::MTVEC), Some(0x1000));
+        c.write(csr::MEPC, 0x2002).unwrap();
+        assert_eq!(c.read(csr::MEPC), Some(0x2000));
+        c.write(csr::MIE, u64::MAX).unwrap();
+        assert_eq!(c.read(csr::MIE), Some(mi::MASK));
+    }
+
+    #[test]
+    fn read_only_and_missing_csrs_are_rejected() {
+        let mut c = CsrFile::new();
+        assert_eq!(c.read(csr::MHARTID), Some(0));
+        assert!(c.write(csr::MHARTID, 1).is_none());
+        assert!(c.write(csr::CYCLE, 1).is_none());
+        let unknown = CsrAddr::new(0x7C0).unwrap();
+        assert!(c.read(unknown).is_none());
+        assert!(c.write(unknown, 0).is_none());
+        // misa writes are ignored, not trapped.
+        assert!(c.write(csr::MISA, 0).is_some());
+        assert_eq!(c.read(csr::MISA), Some(MISA));
+    }
+
+    #[test]
+    fn trap_entry_updates_machine_state() {
+        let mut c = CsrFile::new();
+        c.write(csr::MTVEC, 0x800).unwrap();
+        c.write(csr::MSTATUS, mstatus::MIE).unwrap();
+        let handler = c.enter_trap(0x104, 2, 0xBAD);
+        assert_eq!(handler, 0x800);
+        assert_eq!(c.read(csr::MEPC), Some(0x104));
+        assert_eq!(c.read(csr::MCAUSE), Some(2));
+        assert_eq!(c.read(csr::MTVAL), Some(0xBAD));
+        let status = c.read(csr::MSTATUS).unwrap();
+        assert_eq!(status & mstatus::MIE, 0);
+        assert_ne!(status & mstatus::MPIE, 0);
+        assert_eq!(status & mstatus::MPP_MASK, mstatus::MPP_MACHINE);
+    }
+
+    #[test]
+    fn digest_ignores_counters_but_sees_registers() {
+        let mut a = ArchState::new();
+        let b = ArchState::new();
+        a.csrs_mut().bump_cycle();
+        a.csrs_mut().bump_instret();
+        assert_eq!(a.digest(), b.digest());
+        a.set_x(x(1), 1);
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn mstatus_sd_summarises_fs() {
+        let mut c = CsrFile::new();
+        assert_ne!(c.read(csr::MSTATUS).unwrap() >> 63, 0);
+        c.write(csr::MSTATUS, mstatus::FS_CLEAN << mstatus::FS_SHIFT)
+            .unwrap();
+        assert_eq!(c.read(csr::MSTATUS).unwrap() >> 63, 0);
+        assert!(!c.fp_off());
+        c.write(csr::MSTATUS, 0).unwrap();
+        assert!(c.fp_off());
+    }
+}

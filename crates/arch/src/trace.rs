@@ -1,0 +1,181 @@
+//! Execution traces and state digests for differential coverage.
+//!
+//! The fuzzer compares a device under test against this reference model in
+//! two granularities: per-run state digests (cheap, always on) and
+//! per-instruction [`ExecutionTrace`] entries (opt-in, for bug-scenario
+//! localisation). Both are deterministic functions of architectural state,
+//! so two runs agree exactly iff their digests agree.
+
+use tf_riscv::{Instruction, Reg};
+
+use crate::trap::Trap;
+
+/// Incremental FNV-1a (64-bit) hasher.
+///
+/// Chosen over `DefaultHasher` because the digest must be stable across
+/// Rust versions and processes — digests are recorded in fuzzing corpora
+/// and compared between independent runs.
+#[derive(Debug, Clone)]
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+
+    pub(crate) fn new() -> Self {
+        Fnv(Self::OFFSET)
+    }
+
+    pub(crate) fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
+        }
+    }
+
+    pub(crate) fn write_u64(&mut self, value: u64) {
+        self.write_bytes(&value.to_le_bytes());
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// What one [`Hart::step`](crate::Hart::step) did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The instruction retired normally.
+    Retired(Instruction),
+    /// The instruction (or its fetch/decode) trapped; the hart has already
+    /// vectored to `mtvec`.
+    Trapped(Trap),
+}
+
+/// One recorded step of execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// `pc` the step started at.
+    pub pc: u64,
+    /// The fetched machine word, when the fetch itself succeeded.
+    pub word: Option<u32>,
+    /// What the step did.
+    pub outcome: StepOutcome,
+    /// The register the instruction defined, with its post-execution
+    /// value. `None` for stores, branches, traps and `x0`-writing
+    /// instructions (see [`Operands::defs`](tf_riscv::Operands::defs)).
+    pub def: Option<(Reg, u64)>,
+}
+
+/// An append-only log of executed steps plus a running digest.
+///
+/// Tracing is opt-in on the hart ([`Hart::enable_tracing`]) because the
+/// 100k-instruction fuzzing sweeps only need digests, not per-step
+/// storage.
+///
+/// [`Hart::enable_tracing`]: crate::Hart::enable_tracing
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionTrace {
+    entries: Vec<TraceEntry>,
+}
+
+impl ExecutionTrace {
+    /// An empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn push(&mut self, entry: TraceEntry) {
+        self.entries.push(entry);
+    }
+
+    /// The recorded steps, oldest first.
+    #[must_use]
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of recorded steps.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of recorded steps that retired (did not trap).
+    #[must_use]
+    pub fn retired(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| matches!(e.outcome, StepOutcome::Retired(_)))
+            .count()
+    }
+
+    /// Deterministic FNV-1a digest over the whole trace: pc, word, trap
+    /// cause and defined-register values of every step. Two runs took the
+    /// same architectural path iff their trace digests agree.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut fnv = Fnv::new();
+        for entry in &self.entries {
+            fnv.write_u64(entry.pc);
+            fnv.write_u64(entry.word.map_or(u64::MAX, u64::from));
+            match entry.outcome {
+                StepOutcome::Retired(_) => fnv.write_u64(0),
+                StepOutcome::Trapped(trap) => {
+                    fnv.write_u64(1 + trap.cause().code());
+                    fnv.write_u64(trap.tval());
+                }
+            }
+            if let Some((reg, value)) = entry.def {
+                fnv.write_u64(u64::from(reg.is_fpr()) << 8 | u64::from(reg.index()));
+                fnv.write_u64(value);
+            }
+        }
+        fnv.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable() {
+        let mut fnv = Fnv::new();
+        fnv.write_bytes(b"turbofuzz");
+        // Reference value computed independently; guards against silent
+        // constant drift, which would invalidate stored corpus digests.
+        assert_eq!(fnv.finish(), 0x2450_D8E2_0861_381A);
+    }
+
+    #[test]
+    fn trace_digest_distinguishes_outcomes() {
+        let retired = TraceEntry {
+            pc: 0,
+            word: Some(0x13),
+            outcome: StepOutcome::Retired(Instruction::nop()),
+            def: None,
+        };
+        let trapped = TraceEntry {
+            pc: 0,
+            word: Some(0x13),
+            outcome: StepOutcome::Trapped(Trap::EnvironmentCall),
+            def: None,
+        };
+        let mut a = ExecutionTrace::new();
+        a.push(retired);
+        let mut b = ExecutionTrace::new();
+        b.push(trapped);
+        assert_ne!(a.digest(), b.digest());
+        assert_eq!(a.retired(), 1);
+        assert_eq!(b.retired(), 0);
+        assert_eq!(a.len(), 1);
+        assert!(!a.is_empty());
+    }
+}

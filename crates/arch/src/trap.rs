@@ -1,0 +1,126 @@
+//! The typed trap model: every way one instruction can fail to retire.
+
+use tf_riscv::csr::Cause;
+
+/// A synchronous exception raised while executing one instruction.
+///
+/// Each variant carries the architectural trap value (`mtval`) payload:
+/// the faulting address for memory and fetch exceptions, the offending
+/// machine word for illegal instructions. The reserved floating-point
+/// rounding modes surface as [`Trap::IllegalInstruction`], both when the
+/// static `rm` field is reserved (rejected at decode) and when a dynamic
+/// `rm` resolves through a reserved `fcsr.frm` (paper bug scenario B2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Trap {
+    /// Instruction fetch from a non-4-byte-aligned `pc`.
+    InstructionMisaligned {
+        /// The misaligned fetch address.
+        addr: u64,
+    },
+    /// Instruction fetch from outside physical memory.
+    InstructionFault {
+        /// The out-of-bounds fetch address.
+        addr: u64,
+    },
+    /// The fetched word does not decode to a supported instruction, uses a
+    /// reserved rounding mode, touches an unimplemented CSR, writes a
+    /// read-only CSR, or exercises the FP unit while `mstatus.FS` is off.
+    IllegalInstruction {
+        /// The offending machine word.
+        word: u32,
+    },
+    /// `ebreak`.
+    Breakpoint {
+        /// `pc` of the breakpoint instruction.
+        addr: u64,
+    },
+    /// Load from an address not aligned to the access width.
+    LoadMisaligned {
+        /// The misaligned effective address.
+        addr: u64,
+    },
+    /// Load from outside physical memory.
+    LoadFault {
+        /// The out-of-bounds effective address.
+        addr: u64,
+    },
+    /// Store or AMO to an address not aligned to the access width.
+    StoreMisaligned {
+        /// The misaligned effective address.
+        addr: u64,
+    },
+    /// Store or AMO to outside physical memory.
+    StoreFault {
+        /// The out-of-bounds effective address.
+        addr: u64,
+    },
+    /// `ecall` from machine mode.
+    EnvironmentCall,
+}
+
+impl Trap {
+    /// The privileged-spec exception cause written to `mcause`.
+    #[must_use]
+    pub fn cause(&self) -> Cause {
+        match self {
+            Trap::InstructionMisaligned { .. } => Cause::InstructionMisaligned,
+            Trap::InstructionFault { .. } => Cause::InstructionFault,
+            Trap::IllegalInstruction { .. } => Cause::IllegalInstruction,
+            Trap::Breakpoint { .. } => Cause::Breakpoint,
+            Trap::LoadMisaligned { .. } => Cause::LoadMisaligned,
+            Trap::LoadFault { .. } => Cause::LoadFault,
+            Trap::StoreMisaligned { .. } => Cause::StoreMisaligned,
+            Trap::StoreFault { .. } => Cause::StoreFault,
+            Trap::EnvironmentCall => Cause::EnvironmentCall,
+        }
+    }
+
+    /// The trap value written to `mtval`: the faulting address or the
+    /// offending instruction word, zero when the cause carries neither.
+    #[must_use]
+    pub fn tval(&self) -> u64 {
+        match self {
+            Trap::InstructionMisaligned { addr }
+            | Trap::InstructionFault { addr }
+            | Trap::Breakpoint { addr }
+            | Trap::LoadMisaligned { addr }
+            | Trap::LoadFault { addr }
+            | Trap::StoreMisaligned { addr }
+            | Trap::StoreFault { addr } => *addr,
+            Trap::IllegalInstruction { word } => u64::from(*word),
+            Trap::EnvironmentCall => 0,
+        }
+    }
+}
+
+impl std::fmt::Display for Trap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} (tval={:#x})", self.cause(), self.tval())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn causes_match_privileged_codes() {
+        assert_eq!(Trap::InstructionFault { addr: 4 }.cause().code(), 1);
+        assert_eq!(Trap::IllegalInstruction { word: 0 }.cause().code(), 2);
+        assert_eq!(Trap::StoreMisaligned { addr: 3 }.cause().code(), 6);
+        assert_eq!(Trap::EnvironmentCall.cause().code(), 11);
+    }
+
+    #[test]
+    fn tval_carries_the_payload() {
+        assert_eq!(Trap::LoadFault { addr: 0x80 }.tval(), 0x80);
+        assert_eq!(Trap::IllegalInstruction { word: 0xDEAD }.tval(), 0xDEAD);
+        assert_eq!(Trap::EnvironmentCall.tval(), 0);
+    }
+
+    #[test]
+    fn display_names_the_cause() {
+        let t = Trap::LoadMisaligned { addr: 0x11 };
+        assert_eq!(t.to_string(), "load address misaligned (tval=0x11)");
+    }
+}

@@ -61,6 +61,8 @@ pub const SEPC: CsrAddr = CsrAddr(0x141);
 pub const MSTATUS: CsrAddr = CsrAddr(0x300);
 /// Machine ISA register.
 pub const MISA: CsrAddr = CsrAddr(0x301);
+/// Machine interrupt-enable register.
+pub const MIE: CsrAddr = CsrAddr(0x304);
 /// Machine trap-vector base address.
 pub const MTVEC: CsrAddr = CsrAddr(0x305);
 /// Machine exception program counter.
@@ -69,6 +71,8 @@ pub const MEPC: CsrAddr = CsrAddr(0x341);
 pub const MCAUSE: CsrAddr = CsrAddr(0x342);
 /// Machine trap value.
 pub const MTVAL: CsrAddr = CsrAddr(0x343);
+/// Machine interrupt-pending register.
+pub const MIP: CsrAddr = CsrAddr(0x344);
 /// Machine cycle counter.
 pub const MCYCLE: CsrAddr = CsrAddr(0xB00);
 /// Machine retired-instruction counter.
@@ -77,6 +81,8 @@ pub const MINSTRET: CsrAddr = CsrAddr(0xB02);
 pub const CYCLE: CsrAddr = CsrAddr(0xC00);
 /// Retired-instruction counter (read-only shadow).
 pub const INSTRET: CsrAddr = CsrAddr(0xC02);
+/// Hart ID (read-only).
+pub const MHARTID: CsrAddr = CsrAddr(0xF14);
 
 /// CSRs the fuzzer is allowed to target when generating `Zicsr` instructions.
 /// Restricting the set keeps generated programs recoverable (no writes to
@@ -88,8 +94,8 @@ pub const FUZZABLE: &[CsrAddr] = &[
 
 /// All modelled CSRs.
 pub const ALL: &[CsrAddr] = &[
-    FFLAGS, FRM, FCSR, STVAL, SCAUSE, SEPC, MSTATUS, MISA, MTVEC, MEPC, MCAUSE, MTVAL, MCYCLE,
-    MINSTRET, CYCLE, INSTRET,
+    FFLAGS, FRM, FCSR, STVAL, SCAUSE, SEPC, MSTATUS, MISA, MIE, MTVEC, MEPC, MCAUSE, MTVAL, MIP,
+    MCYCLE, MINSTRET, CYCLE, INSTRET, MHARTID,
 ];
 
 /// Symbolic name of a modelled CSR, if it is one of the known addresses.
@@ -104,14 +110,17 @@ pub fn name(addr: CsrAddr) -> Option<&'static str> {
         SEPC => "sepc",
         MSTATUS => "mstatus",
         MISA => "misa",
+        MIE => "mie",
         MTVEC => "mtvec",
         MEPC => "mepc",
         MCAUSE => "mcause",
         MTVAL => "mtval",
+        MIP => "mip",
         MCYCLE => "mcycle",
         MINSTRET => "minstret",
         CYCLE => "cycle",
         INSTRET => "instret",
+        MHARTID => "mhartid",
         _ => return None,
     })
 }
@@ -154,11 +163,101 @@ pub mod fcsr {
     }
 }
 
+/// Field layout of `mstatus` (the machine-mode subset the reference model
+/// tracks).
+pub mod mstatus {
+    /// Machine interrupt enable (bit 3).
+    pub const MIE: u64 = 1 << 3;
+    /// Previous machine interrupt enable, saved on trap entry (bit 7).
+    pub const MPIE: u64 = 1 << 7;
+    /// Shift of the previous-privilege field (bits 12:11).
+    pub const MPP_SHIFT: u32 = 11;
+    /// Mask of the previous-privilege field in place.
+    pub const MPP_MASK: u64 = 0b11 << MPP_SHIFT;
+    /// Machine-mode encoding of the privilege field.
+    pub const MPP_MACHINE: u64 = 0b11 << MPP_SHIFT;
+    /// Shift of the floating-point unit status field (bits 14:13).
+    pub const FS_SHIFT: u32 = 13;
+    /// Mask of the floating-point unit status field in place.
+    pub const FS_MASK: u64 = 0b11 << FS_SHIFT;
+    /// FS encoding: FP unit off — FP instructions raise illegal
+    /// instruction.
+    pub const FS_OFF: u64 = 0b00;
+    /// FS encoding: initial state.
+    pub const FS_INITIAL: u64 = 0b01;
+    /// FS encoding: clean state.
+    pub const FS_CLEAN: u64 = 0b10;
+    /// FS encoding: dirty state (FP state has been written).
+    pub const FS_DIRTY: u64 = 0b11;
+
+    /// Extract the FS field value (one of the `FS_*` encodings).
+    #[must_use]
+    pub fn fs(value: u64) -> u64 {
+        (value & FS_MASK) >> FS_SHIFT
+    }
+}
+
+/// Field layout of `mtvec`: trap-vector base address and mode.
+pub mod mtvec {
+    /// Mask of the mode field (bits 1:0).
+    pub const MODE_MASK: u64 = 0b11;
+    /// Direct mode: all traps set `pc` to `base`.
+    pub const MODE_DIRECT: u64 = 0b00;
+    /// Vectored mode: interrupts offset into the table (unused by the
+    /// machine-mode exception-only model, which is WARL-fixed to direct).
+    pub const MODE_VECTORED: u64 = 0b01;
+
+    /// Extract the 4-byte-aligned trap-vector base address.
+    #[must_use]
+    pub fn base(value: u64) -> u64 {
+        value & !MODE_MASK
+    }
+
+    /// Extract the mode field.
+    #[must_use]
+    pub fn mode(value: u64) -> u64 {
+        value & MODE_MASK
+    }
+}
+
+/// Field layout of `mcause`: interrupt bit and exception code.
+pub mod mcause {
+    /// The interrupt bit (bit 63 on RV64).
+    pub const INTERRUPT: u64 = 1 << 63;
+
+    /// True when the cause records an interrupt rather than an exception.
+    #[must_use]
+    pub fn is_interrupt(value: u64) -> bool {
+        value & INTERRUPT != 0
+    }
+
+    /// Extract the exception (or interrupt) code.
+    #[must_use]
+    pub fn code(value: u64) -> u64 {
+        value & !INTERRUPT
+    }
+}
+
+/// Bit positions shared by `mie` (interrupt enable) and `mip` (interrupt
+/// pending).
+pub mod mi {
+    /// Machine software interrupt (bit 3).
+    pub const MSI: u64 = 1 << 3;
+    /// Machine timer interrupt (bit 7).
+    pub const MTI: u64 = 1 << 7;
+    /// Machine external interrupt (bit 11).
+    pub const MEI: u64 = 1 << 11;
+    /// Mask covering every machine-mode interrupt bit.
+    pub const MASK: u64 = MSI | MTI | MEI;
+}
+
 /// Exception causes used by the trap model (subset of the privileged spec).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Cause {
     /// Instruction address misaligned.
     InstructionMisaligned,
+    /// Instruction access fault.
+    InstructionFault,
     /// Illegal instruction.
     IllegalInstruction,
     /// Breakpoint (`ebreak`).
@@ -181,6 +280,7 @@ impl Cause {
     pub fn code(self) -> u64 {
         match self {
             Cause::InstructionMisaligned => 0,
+            Cause::InstructionFault => 1,
             Cause::IllegalInstruction => 2,
             Cause::Breakpoint => 3,
             Cause::LoadMisaligned => 4,
@@ -196,6 +296,7 @@ impl std::fmt::Display for Cause {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {
             Cause::InstructionMisaligned => "instruction address misaligned",
+            Cause::InstructionFault => "instruction access fault",
             Cause::IllegalInstruction => "illegal instruction",
             Cause::Breakpoint => "breakpoint",
             Cause::LoadMisaligned => "load address misaligned",
@@ -261,5 +362,46 @@ mod tests {
     fn display_uses_symbolic_names() {
         assert_eq!(FCSR.to_string(), "fcsr");
         assert_eq!(CsrAddr(0x7C0).to_string(), "csr0x7c0");
+    }
+
+    #[test]
+    fn machine_trap_csrs_are_named() {
+        assert_eq!(name(MIE), Some("mie"));
+        assert_eq!(name(MIP), Some("mip"));
+        assert_eq!(name(MHARTID), Some("mhartid"));
+        assert_eq!(MIE.to_string(), "mie");
+        assert_eq!(MHARTID.to_string(), "mhartid");
+    }
+
+    #[test]
+    fn mstatus_field_layout() {
+        assert_eq!(mstatus::MIE, 0b1000);
+        assert_eq!(mstatus::MPIE, 0b1000_0000);
+        assert_eq!(mstatus::MPP_MACHINE, 0b11 << 11);
+        assert_eq!(mstatus::fs(mstatus::FS_DIRTY << mstatus::FS_SHIFT), 0b11);
+        assert_eq!(mstatus::fs(0), mstatus::FS_OFF);
+    }
+
+    #[test]
+    fn mtvec_field_layout() {
+        let v = 0x8000_0001u64;
+        assert_eq!(mtvec::base(v), 0x8000_0000);
+        assert_eq!(mtvec::mode(v), mtvec::MODE_VECTORED);
+        assert_eq!(mtvec::mode(0x100), mtvec::MODE_DIRECT);
+    }
+
+    #[test]
+    fn mcause_field_layout() {
+        let v = mcause::INTERRUPT | 7;
+        assert!(mcause::is_interrupt(v));
+        assert_eq!(mcause::code(v), 7);
+        assert!(!mcause::is_interrupt(Cause::IllegalInstruction.code()));
+    }
+
+    #[test]
+    fn interrupt_bits_are_disjoint() {
+        assert_eq!(mi::MSI & mi::MTI, 0);
+        assert_eq!(mi::MASK, mi::MSI | mi::MTI | mi::MEI);
+        assert_eq!(Cause::InstructionFault.code(), 1);
     }
 }

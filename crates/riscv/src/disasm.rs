@@ -8,6 +8,7 @@
 
 use crate::insn::Instruction;
 use crate::opcode::{Format, Opcode};
+use crate::regs::Reg;
 use crate::RoundingMode;
 use std::fmt;
 
@@ -25,13 +26,10 @@ fn fence_set(bits: i64) -> String {
     s
 }
 
-/// Render a register operand with its class prefix.
-fn reg(is_fpr: bool, index: u8) -> String {
-    if is_fpr {
-        format!("f{index}")
-    } else {
-        format!("x{index}")
-    }
+/// Render an optional register slot; absent slots never reach the output,
+/// but rendering must stay total so `Display` cannot panic.
+fn reg(slot: Option<Reg>) -> String {
+    slot.map(|r| r.to_string()).unwrap_or_default()
 }
 
 /// Append `, rm` unless the mode is dynamic, matching the assembler
@@ -46,11 +44,14 @@ fn rm_suffix(rm: Option<RoundingMode>) -> String {
 impl fmt::Display for Instruction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let op = self.opcode();
+        let ops = self.operands();
         let m = op.mnemonic();
-        let rd = reg(op.rd_is_fpr(), self.rd());
-        let rs1 = reg(op.rs1_is_fpr(), self.rs1());
-        let rs2 = reg(op.rs2_is_fpr(), self.rs2());
-        let imm = self.imm();
+        // The Operands view resolves register classes, so the renderer no
+        // longer consults the per-format fpr metadata.
+        let rd = reg(ops.rd());
+        let rs1 = reg(ops.rs1());
+        let rs2 = reg(ops.rs2());
+        let imm = ops.imm().unwrap_or(0);
         match op.format() {
             Format::R | Format::Fp => write!(f, "{m} {rd}, {rs1}, {rs2}"),
             Format::I if op.is_load() || op == Opcode::Jalr => {
@@ -74,14 +75,14 @@ impl fmt::Display for Instruction {
                 )
             }
             Format::System => f.write_str(m),
-            Format::Csr => {
-                let csr = self.csr_addr().expect("csr format carries an address");
-                write!(f, "{m} {rd}, {csr}, {rs1}")
-            }
-            Format::CsrImm => {
-                let csr = self.csr_addr().expect("csr format carries an address");
-                write!(f, "{m} {rd}, {csr}, {}", self.rs1())
-            }
+            Format::Csr => match ops.csr() {
+                Some(csr) => write!(f, "{m} {rd}, {csr}, {rs1}"),
+                None => write!(f, "{m} {rd}, ?, {rs1}"),
+            },
+            Format::CsrImm => match ops.csr() {
+                Some(csr) => write!(f, "{m} {rd}, {csr}, {imm}"),
+                None => write!(f, "{m} {rd}, ?, {imm}"),
+            },
             Format::Amo => {
                 let order = match (self.aq(), self.rl()) {
                     (false, false) => "",
@@ -89,15 +90,14 @@ impl fmt::Display for Instruction {
                     (false, true) => ".rl",
                     (true, true) => ".aqrl",
                 };
-                if op.encoding().rs2.is_some() {
+                match ops.rs2() {
                     // Load-reserved has no rs2 operand.
-                    write!(f, "{m}{order} {rd}, ({rs1})")
-                } else {
-                    write!(f, "{m}{order} {rd}, {rs2}, ({rs1})")
+                    None => write!(f, "{m}{order} {rd}, ({rs1})"),
+                    Some(_) => write!(f, "{m}{order} {rd}, {rs2}, ({rs1})"),
                 }
             }
             Format::R4 => {
-                let rs3 = reg(true, self.rs3());
+                let rs3 = reg(ops.rs3().map(Reg::F));
                 write!(f, "{m} {rd}, {rs1}, {rs2}, {rs3}{}", rm_suffix(self.rm()))
             }
             Format::FpUnary => write!(f, "{m} {rd}, {rs1}{}", rm_suffix(self.rm())),

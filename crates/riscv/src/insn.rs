@@ -13,6 +13,7 @@
 use crate::csr::CsrAddr;
 use crate::imm::{fits_signed, fits_unsigned, sign_extend, BranchOffset, JumpOffset};
 use crate::opcode::{Format, Opcode};
+use crate::operands::Operands;
 use crate::regs::{Fpr, Gpr, Reg};
 use crate::{RiscvError, RoundingMode};
 
@@ -591,6 +592,26 @@ impl Instruction {
     pub fn csr_addr(&self) -> Option<CsrAddr> {
         matches!(self.opcode.format(), Format::Csr | Format::CsrImm)
             .then(|| CsrAddr(self.imm as u16))
+    }
+
+    /// Project the instruction into the format-erased [`Operands`] view:
+    /// class-aware registers, immediate and CSR address, each present
+    /// exactly when the instruction's format carries the slot.
+    ///
+    /// This is the single place where per-format field meanings are
+    /// resolved; the executor, the disassembler and dataflow analyses all
+    /// consume this view instead of re-interpreting the raw indices.
+    #[must_use]
+    pub fn operands(&self) -> Operands {
+        Operands::project(
+            self.opcode,
+            self.rd,
+            self.rs1,
+            self.rs2,
+            self.rs3,
+            self.imm,
+            self.csr_addr(),
+        )
     }
 
     fn funct3_bits(&self) -> Result<u32, RiscvError> {

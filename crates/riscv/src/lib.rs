@@ -8,6 +8,10 @@
 //! * [`Instruction`] — a decoded instruction (opcode + operands) that can be
 //!   encoded to its 32-bit machine form with [`Instruction::encode`] and
 //!   recovered with [`Instruction::decode`].
+//! * [`Operands`] — the format-erased operand view
+//!   ([`Instruction::operands`]): class-aware `rd`/`rs1`/`rs2`/`rs3`
+//!   registers, immediate and CSR address plus `defs()`/`uses()` dataflow
+//!   sets, so executors and analyses never re-interpret per-format fields.
 //! * [`Gpr`] / [`Fpr`] — newtypes for integer and floating-point register
 //!   indices.
 //! * [`csr`] — control-and-status-register addresses and field layouts used
@@ -39,6 +43,7 @@ mod imm;
 mod insn;
 mod library;
 mod opcode;
+mod operands;
 mod regs;
 
 pub mod csr;
@@ -48,6 +53,7 @@ pub use imm::{fits_signed, fits_unsigned, sign_extend, BranchOffset, JumpOffset}
 pub use insn::Instruction;
 pub use library::{InstructionLibrary, LibraryConfig};
 pub use opcode::{Encoding, Extension, Format, Opcode};
+pub use operands::Operands;
 pub use regs::{Fpr, Gpr, Reg, FPR_COUNT, GPR_COUNT};
 
 /// Width in bytes of every (non-compressed) RV64 instruction handled by this

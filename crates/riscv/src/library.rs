@@ -227,6 +227,9 @@ impl InstructionLibrary {
     }
 
     /// Uniformly sample an active opcode.
+    ///
+    /// Returns `None` — never panics — when every extension or format has
+    /// been deactivated and the active set is empty.
     pub fn sample_opcode(&mut self) -> Option<Opcode> {
         if self.active.is_empty() {
             return None;
@@ -241,6 +244,17 @@ impl InstructionLibrary {
     /// Returns `None` when the library is empty.
     pub fn sample(&mut self) -> Option<Instruction> {
         self.sample_opcode().map(|op| self.synthesize(op))
+    }
+
+    /// Sample a whole sequence of `len` prime instructions.
+    ///
+    /// Returns `None` when the library is empty, so callers never observe a
+    /// partially filled program.
+    pub fn sample_program(&mut self, len: usize) -> Option<Vec<Instruction>> {
+        if self.is_empty() {
+            return None;
+        }
+        Some((0..len).filter_map(|_| self.sample()).collect())
     }
 
     /// Build a random, always-encodable instruction for a specific opcode,
@@ -414,5 +428,40 @@ mod tests {
         assert!(config.allows(Opcode::Add));
         assert!(!config.allows(Opcode::FaddD));
         assert!(!config.allows(Opcode::Csrrw));
+    }
+
+    #[test]
+    fn deactivating_every_extension_yields_none_not_panic() {
+        // Regression: a fully deactivated library must report `None` from
+        // every sampling entry point instead of panicking.
+        let mut lib = InstructionLibrary::default();
+        for ext in Extension::ALL {
+            lib.deactivate_extension(ext);
+        }
+        assert!(lib.is_empty());
+        assert_eq!(lib.sample_opcode(), None);
+        assert!(lib.sample().is_none());
+        assert!(lib.sample_program(16).is_none());
+    }
+
+    #[test]
+    fn deactivating_every_format_yields_none_not_panic() {
+        let mut lib = InstructionLibrary::default();
+        for fmt in Format::ALL {
+            lib.deactivate_format(fmt);
+        }
+        assert!(lib.is_empty());
+        assert_eq!(lib.sample_opcode(), None);
+        assert!(lib.sample().is_none());
+    }
+
+    #[test]
+    fn sample_program_is_complete_and_deterministic() {
+        let mut a = InstructionLibrary::new(LibraryConfig::all(), 7);
+        let mut b = InstructionLibrary::new(LibraryConfig::all(), 7);
+        let pa = a.sample_program(100).unwrap();
+        let pb = b.sample_program(100).unwrap();
+        assert_eq!(pa.len(), 100);
+        assert_eq!(pa, pb);
     }
 }

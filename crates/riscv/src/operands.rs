@@ -1,0 +1,339 @@
+//! The format-erased operand view: [`Operands`].
+//!
+//! Every [`Instruction`](crate::Instruction) can project its operands into a
+//! single uniform shape with [`Instruction::operands`](crate::Instruction::operands):
+//! class-aware destination/source registers, the immediate, and the CSR
+//! address, each present exactly when the instruction's [`Format`] uses the
+//! slot. Consumers that only care about dataflow — the executor, the
+//! disassembler, dependency analysis in the fuzzer — read this view instead
+//! of re-deriving per-format field meanings from raw indices.
+
+use crate::csr::CsrAddr;
+use crate::opcode::{Format, Opcode};
+use crate::regs::{Fpr, Gpr, Reg};
+
+/// Format-erased operand view of one instruction.
+///
+/// Built by [`Instruction::operands`](crate::Instruction::operands). A slot
+/// is `Some` exactly when the instruction's encoding format carries it:
+///
+/// | format            | `rd` | `rs1` | `rs2` | `rs3` | `imm`         | `csr` |
+/// |-------------------|------|-------|-------|-------|---------------|-------|
+/// | R / Fp            | ✓    | ✓     | ✓     |       |               |       |
+/// | I / FpLoad        | ✓    | ✓     |       |       | offset        |       |
+/// | S / FpStore       |      | ✓     | ✓     |       | offset        |       |
+/// | B                 |      | ✓     | ✓     |       | offset        |       |
+/// | U / J             | ✓    |       |       |       | imm / offset  |       |
+/// | Shamt / ShamtW    | ✓    | ✓     |       |       | shift amount  |       |
+/// | Fence             |      |       |       |       | `pred<<4\|succ` |     |
+/// | System            |      |       |       |       |               |       |
+/// | Csr               | ✓    | ✓     |       |       |               | ✓     |
+/// | CsrImm            | ✓    |       |       |       | zero-ext zimm | ✓     |
+/// | Amo               | ✓    | ✓     | ✓¹    |       |               |       |
+/// | R4                | ✓    | ✓     | ✓     | ✓     |               |       |
+/// | FpUnary           | ✓    | ✓     |       |       |               |       |
+///
+/// ¹ absent for `lr.w`/`lr.d`, whose `rs2` field is a function code.
+///
+/// Register classes (integer vs floating point) are resolved from the
+/// opcode's metadata, so an `fcvt.w.s` reports an integer `rd` and an FP
+/// `rs1` without the caller consulting [`Opcode::rd_is_fpr`] and friends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Operands {
+    rd: Option<Reg>,
+    rs1: Option<Reg>,
+    rs2: Option<Reg>,
+    rs3: Option<Fpr>,
+    imm: Option<i64>,
+    csr: Option<CsrAddr>,
+}
+
+impl Operands {
+    /// Project an instruction's raw fields into the format-erased view.
+    pub(crate) fn project(
+        opcode: Opcode,
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+        rs3: u8,
+        imm: i64,
+        csr: Option<CsrAddr>,
+    ) -> Self {
+        let class = |is_fpr: bool, index: u8| {
+            if is_fpr {
+                Reg::F(Fpr::wrapping(index))
+            } else {
+                Reg::X(Gpr::wrapping(index))
+            }
+        };
+        // The raw rs1 field doubles as the zero-extended immediate of
+        // `csrrwi`-style opcodes.
+        let zimm = rs1;
+        let rd = class(opcode.rd_is_fpr(), rd);
+        let rs1 = class(opcode.rs1_is_fpr(), rs1);
+        let rs2 = class(opcode.rs2_is_fpr(), rs2);
+        let rs3 = Fpr::wrapping(rs3);
+        let none = Operands {
+            rd: None,
+            rs1: None,
+            rs2: None,
+            rs3: None,
+            imm: None,
+            csr: None,
+        };
+        match opcode.format() {
+            Format::R | Format::Fp => Operands {
+                rd: Some(rd),
+                rs1: Some(rs1),
+                rs2: Some(rs2),
+                ..none
+            },
+            Format::I | Format::FpLoad | Format::Shamt | Format::ShamtW => Operands {
+                rd: Some(rd),
+                rs1: Some(rs1),
+                imm: Some(imm),
+                ..none
+            },
+            Format::S | Format::B | Format::FpStore => Operands {
+                rs1: Some(rs1),
+                rs2: Some(rs2),
+                imm: Some(imm),
+                ..none
+            },
+            Format::U | Format::J => Operands {
+                rd: Some(rd),
+                imm: Some(imm),
+                ..none
+            },
+            Format::Fence => Operands {
+                imm: Some(imm),
+                ..none
+            },
+            Format::System => none,
+            Format::Csr => Operands {
+                rd: Some(rd),
+                rs1: Some(rs1),
+                csr,
+                ..none
+            },
+            // The rs1 field of an immediate-source CSR access holds the
+            // 5-bit zero-extended immediate, not a register.
+            Format::CsrImm => Operands {
+                rd: Some(rd),
+                imm: Some(i64::from(zimm)),
+                csr,
+                ..none
+            },
+            Format::Amo => Operands {
+                rd: Some(rd),
+                rs1: Some(rs1),
+                // Load-reserved repurposes rs2 as a function code.
+                rs2: (opcode.encoding().rs2.is_none()).then_some(rs2),
+                ..none
+            },
+            Format::R4 => Operands {
+                rd: Some(rd),
+                rs1: Some(rs1),
+                rs2: Some(rs2),
+                rs3: Some(rs3),
+                ..none
+            },
+            Format::FpUnary => Operands {
+                rd: Some(rd),
+                rs1: Some(rs1),
+                ..none
+            },
+        }
+    }
+
+    /// The destination register, when the format writes one.
+    #[must_use]
+    pub fn rd(&self) -> Option<Reg> {
+        self.rd
+    }
+
+    /// The first source register, when the format reads one.
+    #[must_use]
+    pub fn rs1(&self) -> Option<Reg> {
+        self.rs1
+    }
+
+    /// The second source register, when the format reads one.
+    #[must_use]
+    pub fn rs2(&self) -> Option<Reg> {
+        self.rs2
+    }
+
+    /// The third source register (fused multiply-add family only).
+    #[must_use]
+    pub fn rs3(&self) -> Option<Fpr> {
+        self.rs3
+    }
+
+    /// The immediate operand, when the format carries one: the
+    /// sign-extended value for I/S/B/U/J-style formats, the shift amount
+    /// for shifts, `pred<<4|succ` for `fence` and the zero-extended 5-bit
+    /// immediate for `csrrwi`-style opcodes.
+    #[must_use]
+    pub fn imm(&self) -> Option<i64> {
+        self.imm
+    }
+
+    /// The CSR address, for Zicsr opcodes.
+    #[must_use]
+    pub fn csr(&self) -> Option<CsrAddr> {
+        self.csr
+    }
+
+    /// The architectural register this instruction defines (writes), if
+    /// any.
+    ///
+    /// RV64 instructions write at most one register. Writes to the
+    /// hardwired `x0` carry no dataflow and are reported as `None`.
+    #[must_use]
+    pub fn defs(&self) -> Option<Reg> {
+        self.rd.filter(|r| !matches!(r, Reg::X(g) if g.is_zero()))
+    }
+
+    /// The architectural registers this instruction uses (reads), in
+    /// `rs1`, `rs2`, `rs3` order.
+    ///
+    /// Reads of the hardwired `x0` yield the constant zero and carry no
+    /// dataflow, so they are skipped.
+    pub fn uses(&self) -> impl Iterator<Item = Reg> {
+        [self.rs1, self.rs2, self.rs3.map(Reg::F)]
+            .into_iter()
+            .flatten()
+            .filter(|r| !matches!(r, Reg::X(g) if g.is_zero()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::imm::BranchOffset;
+    use crate::{csr, Fpr, Gpr, Instruction, Opcode, Reg, RoundingMode};
+
+    fn x(i: u8) -> Gpr {
+        Gpr::new(i).unwrap()
+    }
+
+    fn f(i: u8) -> Fpr {
+        Fpr::new(i).unwrap()
+    }
+
+    #[test]
+    fn r_type_view() {
+        let ops = Instruction::r_type(Opcode::Add, x(1), x(2), x(3)).operands();
+        assert_eq!(ops.rd(), Some(Reg::X(x(1))));
+        assert_eq!(ops.rs1(), Some(Reg::X(x(2))));
+        assert_eq!(ops.rs2(), Some(Reg::X(x(3))));
+        assert_eq!(ops.imm(), None);
+        assert_eq!(ops.defs(), Some(Reg::X(x(1))));
+        assert_eq!(ops.uses().collect::<Vec<_>>(), [Reg::X(x(2)), Reg::X(x(3))]);
+    }
+
+    #[test]
+    fn x0_carries_no_dataflow() {
+        let ops = Instruction::r_type(Opcode::Add, Gpr::ZERO, Gpr::ZERO, x(3)).operands();
+        assert_eq!(ops.rd(), Some(Reg::X(Gpr::ZERO)));
+        assert_eq!(ops.defs(), None);
+        assert_eq!(ops.uses().collect::<Vec<_>>(), [Reg::X(x(3))]);
+    }
+
+    #[test]
+    fn store_has_no_def() {
+        let ops = Instruction::s_type(Opcode::Sd, x(2), x(3), 8)
+            .unwrap()
+            .operands();
+        assert_eq!(ops.rd(), None);
+        assert_eq!(ops.defs(), None);
+        assert_eq!(ops.imm(), Some(8));
+        assert_eq!(ops.uses().count(), 2);
+    }
+
+    #[test]
+    fn branch_has_sources_and_offset_only() {
+        let off = BranchOffset::new(-16).unwrap();
+        let ops = Instruction::b_type(Opcode::Beq, x(1), x(2), off).operands();
+        assert_eq!(ops.rd(), None);
+        assert_eq!(ops.imm(), Some(-16));
+        assert_eq!(ops.uses().count(), 2);
+    }
+
+    #[test]
+    fn mixed_class_fp_unary_resolves_classes() {
+        let insn = Instruction::fp_unary(
+            Opcode::FcvtWS,
+            Reg::X(x(1)),
+            Reg::F(f(2)),
+            Some(RoundingMode::Rtz),
+        )
+        .unwrap();
+        let ops = insn.operands();
+        assert_eq!(ops.rd(), Some(Reg::X(x(1))));
+        assert_eq!(ops.rs1(), Some(Reg::F(f(2))));
+        assert_eq!(ops.defs(), Some(Reg::X(x(1))));
+    }
+
+    #[test]
+    fn r4_exposes_three_fp_sources() {
+        let insn = Instruction::r4_type(Opcode::FmaddS, f(1), f(2), f(3), f(4), RoundingMode::Rne);
+        let ops = insn.operands();
+        assert_eq!(ops.rs3(), Some(f(4)));
+        assert_eq!(
+            ops.uses().collect::<Vec<_>>(),
+            [Reg::F(f(2)), Reg::F(f(3)), Reg::F(f(4))]
+        );
+    }
+
+    #[test]
+    fn csr_imm_has_no_register_source() {
+        let insn = Instruction::csr_imm(Opcode::Csrrwi, x(1), csr::FRM, 9).unwrap();
+        let ops = insn.operands();
+        assert_eq!(ops.rs1(), None);
+        assert_eq!(ops.imm(), Some(9));
+        assert_eq!(ops.csr(), Some(csr::FRM));
+        assert_eq!(ops.uses().count(), 0);
+    }
+
+    #[test]
+    fn csr_reg_reads_rs1() {
+        let insn = Instruction::csr_reg(Opcode::Csrrw, x(1), csr::FCSR, x(2)).unwrap();
+        let ops = insn.operands();
+        assert_eq!(ops.rs1(), Some(Reg::X(x(2))));
+        assert_eq!(ops.imm(), None);
+        assert_eq!(ops.csr(), Some(csr::FCSR));
+    }
+
+    #[test]
+    fn load_reserved_has_no_rs2() {
+        let lr = Instruction::amo(Opcode::LrW, x(5), x(7), Gpr::ZERO, false, false).unwrap();
+        assert_eq!(lr.operands().rs2(), None);
+        let amo = Instruction::amo(Opcode::AmoaddW, x(5), x(7), x(6), false, false).unwrap();
+        assert_eq!(amo.operands().rs2(), Some(Reg::X(x(6))));
+    }
+
+    #[test]
+    fn system_and_fence_views() {
+        assert_eq!(Instruction::system(Opcode::Ecall).operands().rd(), None);
+        let fence = Instruction::fence(0xF, 0x3).unwrap().operands();
+        assert_eq!(fence.imm(), Some(0xF3));
+        assert_eq!(fence.uses().count(), 0);
+    }
+
+    #[test]
+    fn every_opcode_projects_without_panicking() {
+        let mut lib = crate::InstructionLibrary::default();
+        for &op in Opcode::ALL {
+            let insn = lib.synthesize(op);
+            let ops = insn.operands();
+            // The destination class always matches the opcode metadata.
+            if let Some(rd) = ops.rd() {
+                assert_eq!(rd.is_fpr(), op.rd_is_fpr(), "{op:?}");
+            }
+            // defs/uses never yield x0.
+            assert!(ops.defs().is_none_or(|r| r != Reg::X(Gpr::ZERO)));
+            assert!(ops.uses().all(|r| r != Reg::X(Gpr::ZERO)));
+        }
+    }
+}
