@@ -1,0 +1,155 @@
+//! The device-under-test boundary: the [`Dut`] trait.
+//!
+//! The fuzzing loop never talks to a concrete machine. It drives the
+//! abstract [`Dut`] interface — reset, program load, single-step, state
+//! digest and trace hooks — and differences any implementation against
+//! the golden [`Hart`]. The reference model itself implements the trait
+//! (so reference-vs-reference campaigns are the zero-divergence sanity
+//! baseline), [`MutantHart`](crate::MutantHart) implements it with
+//! injected bug scenarios for end-to-end fuzzer validation, and future
+//! backends — RTL simulators, external ISS processes, faulty models —
+//! plug in behind the same boundary without touching the fuzzer.
+
+use tf_riscv::Instruction;
+
+use crate::hart::{Hart, RunExit};
+use crate::trace::{ExecutionTrace, StepOutcome};
+use crate::trap::Trap;
+
+/// A device under test: anything that can execute RV64 programs and
+/// expose its architectural state for differential comparison.
+///
+/// The contract mirrors the reference model's semantics:
+///
+/// * [`Dut::step`] must be total — abnormal conditions surface as
+///   [`StepOutcome::Trapped`], never as panics.
+/// * [`Dut::digest`] must be a deterministic function of architectural
+///   state (registers, CSRs and memory), computed with the stable
+///   [`Fnv`](crate::digest::Fnv) hash so fingerprints can be compared
+///   across processes and recorded in corpora.
+/// * Tracing is opt-in: campaigns that only need end-state digests skip
+///   the per-step storage.
+pub trait Dut {
+    /// Short human-readable identifier for campaign reports.
+    fn name(&self) -> &'static str;
+
+    /// Return to the reset state: zeroed registers and memory, CSRs at
+    /// their reset values, any recorded trace discarded.
+    fn reset(&mut self);
+
+    /// Encode `program` and store it contiguously starting at `base`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Trap`] a fetch of the offending word would raise
+    /// when the program does not fit in memory or fails to encode.
+    fn load(&mut self, base: u64, program: &[Instruction]) -> Result<(), Trap>;
+
+    /// Execute one instruction, trapping (never panicking) on abnormal
+    /// conditions.
+    fn step(&mut self) -> StepOutcome;
+
+    /// Deterministic fingerprint of the complete architectural state —
+    /// registers, CSRs and memory. Two devices agree architecturally iff
+    /// their digests agree.
+    fn digest(&self) -> u64;
+
+    /// Start recording an [`ExecutionTrace`] (replacing any previous
+    /// one).
+    fn enable_tracing(&mut self);
+
+    /// Stop tracing and take the recorded trace.
+    fn take_trace(&mut self) -> Option<ExecutionTrace>;
+
+    /// Step until an `ebreak`/`ecall` trap or until `max_steps` is
+    /// spent.
+    fn run(&mut self, max_steps: u64) -> RunExit {
+        for steps in 1..=max_steps {
+            match self.step() {
+                StepOutcome::Trapped(Trap::Breakpoint { .. }) => {
+                    return RunExit::Breakpoint { steps }
+                }
+                StepOutcome::Trapped(Trap::EnvironmentCall) => {
+                    return RunExit::EnvironmentCall { steps }
+                }
+                _ => {}
+            }
+        }
+        RunExit::OutOfGas
+    }
+}
+
+impl Dut for Hart {
+    fn name(&self) -> &'static str {
+        "hart"
+    }
+
+    fn reset(&mut self) {
+        Hart::reset(self);
+    }
+
+    fn load(&mut self, base: u64, program: &[Instruction]) -> Result<(), Trap> {
+        self.load_program(base, program)
+    }
+
+    fn step(&mut self) -> StepOutcome {
+        Hart::step(self)
+    }
+
+    fn digest(&self) -> u64 {
+        Hart::digest(self)
+    }
+
+    fn enable_tracing(&mut self) {
+        Hart::enable_tracing(self);
+    }
+
+    fn take_trace(&mut self) -> Option<ExecutionTrace> {
+        Hart::take_trace(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tf_riscv::{Gpr, Instruction, Opcode};
+
+    /// The trait is object-safe: campaign drivers may hold boxed DUTs.
+    #[test]
+    fn dut_is_object_safe() {
+        let mut dut: Box<dyn Dut> = Box::new(Hart::new(1 << 16));
+        let program = [
+            Instruction::i_type(Opcode::Addi, Gpr::new(1).unwrap(), Gpr::ZERO, 3).unwrap(),
+            Instruction::system(Opcode::Ebreak),
+        ];
+        dut.load(0, &program).unwrap();
+        assert_eq!(dut.run(10), RunExit::Breakpoint { steps: 2 });
+        assert_eq!(dut.name(), "hart");
+    }
+
+    #[test]
+    fn reset_restores_the_initial_digest() {
+        let mut hart = Hart::new(1 << 16);
+        let baseline = Dut::digest(&hart);
+        let program = [
+            Instruction::i_type(Opcode::Addi, Gpr::new(5).unwrap(), Gpr::ZERO, 99).unwrap(),
+            Instruction::s_type(Opcode::Sd, Gpr::ZERO, Gpr::new(5).unwrap(), 0x100).unwrap(),
+            Instruction::system(Opcode::Ebreak),
+        ];
+        Dut::load(&mut hart, 0, &program).unwrap();
+        Dut::run(&mut hart, 10);
+        assert_ne!(Dut::digest(&hart), baseline);
+        Dut::reset(&mut hart);
+        assert_eq!(Dut::digest(&hart), baseline);
+    }
+
+    #[test]
+    fn trait_and_inherent_run_agree() {
+        let program = [Instruction::nop(), Instruction::system(Opcode::Ecall)];
+        let mut a = Hart::new(1 << 16);
+        a.load_program(0, &program).unwrap();
+        let mut b = Hart::new(1 << 16);
+        b.load_program(0, &program).unwrap();
+        assert_eq!(a.run(10), Dut::run(&mut b, 10));
+    }
+}

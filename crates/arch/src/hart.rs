@@ -3,10 +3,12 @@
 use tf_riscv::csr::{self, CsrAddr};
 use tf_riscv::{Fpr, Gpr, Instruction, Opcode, RoundingMode};
 
+use crate::digest::Fnv;
+use crate::dut::Dut;
 use crate::fpu::{self, dp, sp};
 use crate::mem::Memory;
 use crate::state::ArchState;
-use crate::trace::{ExecutionTrace, Fnv, StepOutcome, TraceEntry};
+use crate::trace::{ExecutionTrace, StepOutcome, TraceEntry};
 use crate::trap::Trap;
 
 /// Why [`Hart::run`] returned.
@@ -25,6 +27,18 @@ pub enum RunExit {
     },
     /// The step budget ran out first.
     OutOfGas,
+}
+
+impl std::fmt::Display for RunExit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunExit::Breakpoint { steps } => write!(f, "breakpoint after {steps} steps"),
+            RunExit::EnvironmentCall { steps } => {
+                write!(f, "environment call after {steps} steps")
+            }
+            RunExit::OutOfGas => f.write_str("out of gas"),
+        }
+    }
 }
 
 /// A single RV64 IMAFD+Zicsr hart with its private memory.
@@ -51,6 +65,13 @@ impl Hart {
             reservation: None,
             trace: None,
         }
+    }
+
+    /// Return to the reset state: registers, CSRs, memory and the LR/SC
+    /// reservation are cleared and any recorded trace is discarded. The
+    /// memory size is kept.
+    pub fn reset(&mut self) {
+        *self = Hart::new(self.mem.size());
     }
 
     /// The architectural register state.
@@ -83,6 +104,13 @@ impl Hart {
     /// Stop tracing and take the recorded trace.
     pub fn take_trace(&mut self) -> Option<ExecutionTrace> {
         self.trace.take()
+    }
+
+    /// The most recently recorded trace entry, for in-crate mutant
+    /// implementations that patch the defined-register value after
+    /// injecting a bug into the retired result.
+    pub(crate) fn trace_last_mut(&mut self) -> Option<&mut TraceEntry> {
+        self.trace.as_mut().and_then(ExecutionTrace::last_mut)
     }
 
     /// Encode `program` and store it contiguously starting at `base`.
@@ -165,18 +193,7 @@ impl Hart {
 
     /// Step until an `ebreak`/`ecall` trap or until `max_steps` is spent.
     pub fn run(&mut self, max_steps: u64) -> RunExit {
-        for steps in 1..=max_steps {
-            match self.step() {
-                StepOutcome::Trapped(Trap::Breakpoint { .. }) => {
-                    return RunExit::Breakpoint { steps }
-                }
-                StepOutcome::Trapped(Trap::EnvironmentCall) => {
-                    return RunExit::EnvironmentCall { steps }
-                }
-                _ => {}
-            }
-        }
-        RunExit::OutOfGas
+        Dut::run(self, max_steps)
     }
 
     fn execute_at(&mut self, pc: u64, word_out: &mut Option<u32>) -> Result<Instruction, Trap> {
@@ -1226,6 +1243,19 @@ mod tests {
         assert_eq!(a.digest(), b.digest());
         b.mem_mut().store_u8(0, 1).unwrap();
         assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn run_exit_displays_readably() {
+        assert_eq!(
+            RunExit::Breakpoint { steps: 7 }.to_string(),
+            "breakpoint after 7 steps"
+        );
+        assert_eq!(
+            RunExit::EnvironmentCall { steps: 1 }.to_string(),
+            "environment call after 1 steps"
+        );
+        assert_eq!(RunExit::OutOfGas.to_string(), "out of gas");
     }
 
     #[test]

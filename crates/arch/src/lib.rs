@@ -20,6 +20,14 @@
 //!   out-of-bounds access, `ecall`/`ebreak`.
 //! * [`ExecutionTrace`] — opt-in per-step log (pc, word, outcome, defined
 //!   register) with a deterministic digest for differential comparison.
+//! * [`Dut`] — the device-under-test boundary the fuzzer drives: reset,
+//!   program load, single-step, state digest and trace hooks. [`Hart`]
+//!   implements it as the golden reference; [`MutantHart`] implements it
+//!   with an injected [`BugScenario`] (e.g. B2, reserved-rounding-mode
+//!   acceptance) for end-to-end fuzzer validation; external simulators
+//!   plug in behind the same trait.
+//! * [`digest::Fnv`] — the stable FNV-1a hasher every fingerprint in the
+//!   workspace is built from.
 //!
 //! Floating-point semantics come from the [`fpu`] module: host arithmetic
 //! plus exact residual recovery for flags and directed rounding; its
@@ -47,15 +55,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod digest;
+mod dut;
 pub mod fpu;
 mod hart;
 mod mem;
+mod mutant;
 mod state;
 mod trace;
 mod trap;
 
+pub use dut::Dut;
 pub use hart::{Hart, RunExit};
 pub use mem::{Memory, PAGE_SIZE};
+pub use mutant::{BugScenario, MutantHart};
 pub use state::{ArchState, CsrFile, CANONICAL_NAN_F32, MISA};
 pub use trace::{ExecutionTrace, StepOutcome, TraceEntry};
 pub use trap::Trap;

@@ -9,7 +9,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::trace::Fnv;
+use crate::digest::Fnv;
 
 /// Bytes per backing page.
 pub const PAGE_SIZE: u64 = 4096;

@@ -1,0 +1,372 @@
+//! Known-buggy devices under test: [`MutantHart`] and its
+//! [`BugScenario`]s.
+//!
+//! The paper validates its fuzzing loop against processors with planted
+//! bugs; this module is the software analogue. A [`MutantHart`] wraps the
+//! golden [`Hart`] and injects exactly one deterministic deviation from
+//! the architecture, chosen from the paper's bug-scenario catalogue. A
+//! campaign pointed at a mutant must flag a divergence, and the step it
+//! localises must be one where the scenario actually fired — this is the
+//! end-to-end self-test of the differential engine.
+
+use tf_riscv::csr;
+use tf_riscv::{Extension, Gpr, Instruction, Opcode, RoundingMode};
+
+use crate::dut::Dut;
+use crate::hart::Hart;
+use crate::trace::{ExecutionTrace, StepOutcome};
+use crate::trap::Trap;
+
+/// A planted bug: one deterministic deviation from the RV64 architecture.
+///
+/// Each scenario reproduces a class of silicon defect from the paper's
+/// evaluation. The triggers are intentionally narrow so that campaigns
+/// exercise the generator's ability to reach them, not just the diff
+/// engine's ability to notice arbitrary corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BugScenario {
+    /// Paper scenario B2: a floating-point instruction whose dynamic
+    /// rounding mode resolves through a reserved `fcsr.frm` encoding
+    /// retires (computing as round-to-nearest-even) instead of raising
+    /// the architecturally required illegal-instruction exception.
+    B2ReservedRounding,
+    /// The immediate adder is off by one: every retired `addi` writes
+    /// `rs1 + imm + 1`.
+    OffByOneImmediate,
+    /// The FP exception path is disconnected: retired floating-point
+    /// instructions never update `fflags` (explicit CSR writes still
+    /// work).
+    DroppedFflags,
+}
+
+impl BugScenario {
+    /// Every scenario, in catalogue order.
+    pub const ALL: [BugScenario; 3] = [
+        BugScenario::B2ReservedRounding,
+        BugScenario::OffByOneImmediate,
+        BugScenario::DroppedFflags,
+    ];
+
+    /// Short stable identifier, used by `tf-cli fuzz --mutant <id>`.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            BugScenario::B2ReservedRounding => "b2",
+            BugScenario::OffByOneImmediate => "imm",
+            BugScenario::DroppedFflags => "fflags",
+        }
+    }
+
+    /// One-line description for campaign reports and `--help` output.
+    #[must_use]
+    pub fn description(self) -> &'static str {
+        match self {
+            BugScenario::B2ReservedRounding => {
+                "FP instruction with a reserved dynamic rounding mode retires instead of trapping"
+            }
+            BugScenario::OffByOneImmediate => "addi computes rs1 + imm + 1",
+            BugScenario::DroppedFflags => "FP instructions never update fflags",
+        }
+    }
+
+    /// Parse a scenario from its [`BugScenario::id`].
+    #[must_use]
+    pub fn parse(id: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|s| s.id() == id)
+    }
+}
+
+impl std::fmt::Display for BugScenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.id(), self.description())
+    }
+}
+
+/// A [`Hart`] with one injected [`BugScenario`] — a known-buggy device
+/// under test for validating fuzzing campaigns end to end.
+///
+/// Outside its scenario's trigger the mutant behaves bit-for-bit like the
+/// reference model, so every reported divergence is attributable to the
+/// planted bug.
+#[derive(Debug, Clone)]
+pub struct MutantHart {
+    hart: Hart,
+    scenario: BugScenario,
+}
+
+impl MutantHart {
+    /// Create a mutant at the reset state with `mem_size` bytes of memory.
+    #[must_use]
+    pub fn new(mem_size: u64, scenario: BugScenario) -> Self {
+        MutantHart {
+            hart: Hart::new(mem_size),
+            scenario,
+        }
+    }
+
+    /// The injected scenario.
+    #[must_use]
+    pub fn scenario(&self) -> BugScenario {
+        self.scenario
+    }
+
+    /// The wrapped hart (architectural state inspection in tests).
+    #[must_use]
+    pub fn hart(&self) -> &Hart {
+        &self.hart
+    }
+
+    /// Decode the instruction the next step would fetch, if the fetch
+    /// and decode succeed.
+    fn peek(&self) -> Option<Instruction> {
+        let pc = self.hart.state().pc();
+        if pc % 4 != 0 {
+            return None;
+        }
+        let word = self.hart.mem().load_u32(pc)?;
+        Instruction::decode(word).ok()
+    }
+
+    /// B2: when the next instruction would resolve a dynamic rounding
+    /// mode through a reserved `frm`, execute it as RNE instead of
+    /// letting the reference semantics trap.
+    fn step_b2(&mut self) -> StepOutcome {
+        let reserved_dyn = self.peek().is_some_and(|insn| {
+            insn.rm() == Some(RoundingMode::Dyn)
+                && RoundingMode::from_bits(self.hart.state().csrs().frm()).is_none()
+        });
+        if !reserved_dyn {
+            return self.hart.step();
+        }
+        let frm = u64::from(self.hart.state().csrs().frm());
+        let csrs = self.hart.state_mut().csrs_mut();
+        csrs.write(csr::FRM, u64::from(RoundingMode::Rne.to_bits()))
+            .expect("frm is writable");
+        let outcome = self.hart.step();
+        // Restore the reserved encoding: the bug is in rm resolution, not
+        // in the CSR file.
+        self.hart
+            .state_mut()
+            .csrs_mut()
+            .write(csr::FRM, frm)
+            .expect("frm is writable");
+        outcome
+    }
+
+    /// Off-by-one: after a retired `addi`, nudge the destination by one
+    /// (and keep the recorded trace consistent with the buggy device).
+    fn step_off_by_one(&mut self) -> StepOutcome {
+        let outcome = self.hart.step();
+        if let StepOutcome::Retired(insn) = outcome {
+            if insn.opcode() == Opcode::Addi {
+                let rd = Gpr::wrapping(insn.rd());
+                if !rd.is_zero() {
+                    let buggy = self.hart.state().x(rd).wrapping_add(1);
+                    self.hart.state_mut().set_x(rd, buggy);
+                    if let Some(entry) = self.hart.trace_last_mut() {
+                        if let Some((reg, value)) = &mut entry.def {
+                            debug_assert_eq!(*reg, tf_riscv::Reg::X(rd));
+                            *value = buggy;
+                        }
+                    }
+                }
+            }
+        }
+        outcome
+    }
+
+    /// Dropped fflags: restore the pre-step `fflags` after any retired
+    /// F/D-extension instruction, as if the accrual wires were cut.
+    fn step_dropped_fflags(&mut self) -> StepOutcome {
+        let before = self
+            .hart
+            .state()
+            .csrs()
+            .read(csr::FFLAGS)
+            .expect("fflags exists");
+        let outcome = self.hart.step();
+        if let StepOutcome::Retired(insn) = outcome {
+            if matches!(insn.opcode().extension(), Extension::F | Extension::D) {
+                let csrs = self.hart.state_mut().csrs_mut();
+                csrs.write(csr::FFLAGS, before).expect("fflags is writable");
+            }
+        }
+        outcome
+    }
+}
+
+impl Dut for MutantHart {
+    fn name(&self) -> &'static str {
+        match self.scenario {
+            BugScenario::B2ReservedRounding => "mutant-b2",
+            BugScenario::OffByOneImmediate => "mutant-imm",
+            BugScenario::DroppedFflags => "mutant-fflags",
+        }
+    }
+
+    fn reset(&mut self) {
+        self.hart.reset();
+    }
+
+    fn load(&mut self, base: u64, program: &[Instruction]) -> Result<(), Trap> {
+        self.hart.load_program(base, program)
+    }
+
+    fn step(&mut self) -> StepOutcome {
+        match self.scenario {
+            BugScenario::B2ReservedRounding => self.step_b2(),
+            BugScenario::OffByOneImmediate => self.step_off_by_one(),
+            BugScenario::DroppedFflags => self.step_dropped_fflags(),
+        }
+    }
+
+    fn digest(&self) -> u64 {
+        self.hart.digest()
+    }
+
+    fn enable_tracing(&mut self) {
+        self.hart.enable_tracing();
+    }
+
+    fn take_trace(&mut self) -> Option<ExecutionTrace> {
+        self.hart.take_trace()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tf_riscv::{Fpr, Reg};
+
+    fn x(i: u8) -> Gpr {
+        Gpr::new(i).unwrap()
+    }
+
+    fn f(i: u8) -> Fpr {
+        Fpr::new(i).unwrap()
+    }
+
+    /// The B2 trigger program: set a reserved `frm`, then execute an FP
+    /// instruction with the dynamic rounding mode.
+    fn b2_program() -> Vec<Instruction> {
+        vec![
+            Instruction::csr_imm(Opcode::Csrrwi, Gpr::ZERO, csr::FRM, 0b101).unwrap(),
+            Instruction::fp_r_type(Opcode::FaddS, f(1), f(2), f(3), Some(RoundingMode::Dyn))
+                .unwrap(),
+            Instruction::system(Opcode::Ebreak),
+        ]
+    }
+
+    #[test]
+    fn b2_mutant_retires_where_reference_traps() {
+        let program = b2_program();
+        let mut reference = Hart::new(1 << 16);
+        reference.load_program(0, &program).unwrap();
+        let mut mutant = MutantHart::new(1 << 16, BugScenario::B2ReservedRounding);
+        mutant.load(0, &program).unwrap();
+
+        reference.step();
+        mutant.step();
+        assert!(matches!(
+            reference.step(),
+            StepOutcome::Trapped(Trap::IllegalInstruction { .. })
+        ));
+        assert!(matches!(mutant.step(), StepOutcome::Retired(_)));
+        // The reserved frm survives the mutant's internal RNE substitution.
+        assert_eq!(mutant.hart().state().csrs().frm(), 0b101);
+        assert_ne!(Dut::digest(&mutant), reference.digest());
+    }
+
+    #[test]
+    fn b2_mutant_matches_reference_on_legal_rounding() {
+        // With a legal frm the mutant must be bit-for-bit the reference.
+        let program = vec![
+            Instruction::csr_imm(Opcode::Csrrwi, Gpr::ZERO, csr::FRM, 0b001).unwrap(),
+            Instruction::fp_r_type(Opcode::FaddS, f(1), f(2), f(3), Some(RoundingMode::Dyn))
+                .unwrap(),
+            Instruction::system(Opcode::Ebreak),
+        ];
+        let mut reference = Hart::new(1 << 16);
+        reference.load_program(0, &program).unwrap();
+        let mut mutant = MutantHart::new(1 << 16, BugScenario::B2ReservedRounding);
+        mutant.load(0, &program).unwrap();
+        reference.run(10);
+        Dut::run(&mut mutant, 10);
+        assert_eq!(Dut::digest(&mutant), reference.digest());
+    }
+
+    #[test]
+    fn off_by_one_mutant_perturbs_addi_and_its_trace() {
+        let program = [
+            Instruction::i_type(Opcode::Addi, x(1), Gpr::ZERO, 41).unwrap(),
+            Instruction::system(Opcode::Ebreak),
+        ];
+        let mut mutant = MutantHart::new(1 << 16, BugScenario::OffByOneImmediate);
+        mutant.load(0, &program).unwrap();
+        mutant.enable_tracing();
+        mutant.step();
+        assert_eq!(mutant.hart().state().x(x(1)), 42, "41 + off-by-one");
+        let trace = mutant.take_trace().unwrap();
+        assert_eq!(
+            trace.entries()[0].def,
+            Some((Reg::X(x(1)), 42)),
+            "trace reports the buggy value the device actually wrote"
+        );
+    }
+
+    #[test]
+    fn off_by_one_mutant_leaves_other_opcodes_alone() {
+        let program = [
+            Instruction::r_type(Opcode::Add, x(1), Gpr::ZERO, Gpr::ZERO),
+            Instruction::i_type(Opcode::Addi, Gpr::ZERO, Gpr::ZERO, 3).unwrap(),
+            Instruction::system(Opcode::Ebreak),
+        ];
+        let mut reference = Hart::new(1 << 16);
+        reference.load_program(0, &program).unwrap();
+        let mut mutant = MutantHart::new(1 << 16, BugScenario::OffByOneImmediate);
+        mutant.load(0, &program).unwrap();
+        reference.run(10);
+        Dut::run(&mut mutant, 10);
+        // `add` is untouched and the x0-destination addi stays discarded.
+        assert_eq!(Dut::digest(&mutant), reference.digest());
+    }
+
+    #[test]
+    fn dropped_fflags_mutant_swallows_accrual_but_not_csr_writes() {
+        // 1.0 / 3.0 is inexact: the reference sets NX, the mutant must not.
+        let program = [
+            Instruction::csr_imm(Opcode::Csrrwi, Gpr::ZERO, csr::FFLAGS, 0).unwrap(),
+            Instruction::fp_r_type(Opcode::FdivS, f(1), f(2), f(3), Some(RoundingMode::Rne))
+                .unwrap(),
+            Instruction::system(Opcode::Ebreak),
+        ];
+        let setup = |hart: &mut Hart| {
+            hart.state_mut().set_f32(f(2), 1.0);
+            hart.state_mut().set_f32(f(3), 3.0);
+        };
+        let mut reference = Hart::new(1 << 16);
+        reference.load_program(0, &program).unwrap();
+        setup(&mut reference);
+        let mut mutant = MutantHart::new(1 << 16, BugScenario::DroppedFflags);
+        mutant.load(0, &program).unwrap();
+        setup(&mut mutant.hart);
+        reference.run(10);
+        Dut::run(&mut mutant, 10);
+        assert_eq!(
+            reference.state().csrs().read(csr::FFLAGS),
+            Some(csr::fflags::NX)
+        );
+        assert_eq!(mutant.hart().state().csrs().read(csr::FFLAGS), Some(0));
+        // The quotient itself is still computed correctly.
+        assert_eq!(mutant.hart().state().f32(f(1)), reference.state().f32(f(1)));
+    }
+
+    #[test]
+    fn scenario_ids_round_trip() {
+        for scenario in BugScenario::ALL {
+            assert_eq!(BugScenario::parse(scenario.id()), Some(scenario));
+            assert!(scenario.to_string().starts_with(scenario.id()));
+        }
+        assert_eq!(BugScenario::parse("nope"), None);
+    }
+}

@@ -3,7 +3,7 @@
 use tf_riscv::csr::{self, mi, mstatus, mtvec, CsrAddr};
 use tf_riscv::{Fpr, Gpr};
 
-use crate::trace::Fnv;
+use crate::digest::Fnv;
 
 /// `misa` for this model: RV64 (MXL=2) with the I, M, A, F, D extensions.
 pub const MISA: u64 = (2 << 62) | (1 << 0) | (1 << 3) | (1 << 5) | (1 << 8) | (1 << 12);

@@ -8,38 +8,8 @@
 
 use tf_riscv::{Instruction, Reg};
 
+use crate::digest::Fnv;
 use crate::trap::Trap;
-
-/// Incremental FNV-1a (64-bit) hasher.
-///
-/// Chosen over `DefaultHasher` because the digest must be stable across
-/// Rust versions and processes — digests are recorded in fuzzing corpora
-/// and compared between independent runs.
-#[derive(Debug, Clone)]
-pub(crate) struct Fnv(u64);
-
-impl Fnv {
-    const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01B3;
-
-    pub(crate) fn new() -> Self {
-        Fnv(Self::OFFSET)
-    }
-
-    pub(crate) fn write_bytes(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
-        }
-    }
-
-    pub(crate) fn write_u64(&mut self, value: u64) {
-        self.write_bytes(&value.to_le_bytes());
-    }
-
-    pub(crate) fn finish(&self) -> u64 {
-        self.0
-    }
-}
 
 /// What one [`Hart::step`](crate::Hart::step) did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,6 +57,10 @@ impl ExecutionTrace {
 
     pub(crate) fn push(&mut self, entry: TraceEntry) {
         self.entries.push(entry);
+    }
+
+    pub(crate) fn last_mut(&mut self) -> Option<&mut TraceEntry> {
+        self.entries.last_mut()
     }
 
     /// The recorded steps, oldest first.
@@ -144,15 +118,6 @@ impl ExecutionTrace {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn fnv_is_stable() {
-        let mut fnv = Fnv::new();
-        fnv.write_bytes(b"turbofuzz");
-        // Reference value computed independently; guards against silent
-        // constant drift, which would invalidate stored corpus digests.
-        assert_eq!(fnv.finish(), 0x2450_D8E2_0861_381A);
-    }
 
     #[test]
     fn trace_digest_distinguishes_outcomes() {

@@ -1,0 +1,191 @@
+//! Flag parsing for `tf-cli`, dependency-free by design.
+
+use tf_arch::BugScenario;
+
+/// Usage text for `--help` and parse failures.
+pub const USAGE: &str = "\
+tf-cli — TurboFuzz differential fuzzing campaigns
+
+USAGE:
+    tf-cli fuzz [OPTIONS]
+
+OPTIONS:
+    --seed <N>        campaign seed (default 0)
+    --steps <M>       generated-instruction budget (default 10000)
+    --len <L>         instructions per program, incl. ebreak (default 32)
+    --mutant <ID>     fuzz a known-buggy DUT: b2 | imm | fflags
+                      (default: the golden reference hart)
+    --expect <WHAT>   exit non-zero unless the campaign reported
+                      `divergence` or came back `clean`
+    -h, --help        print this help";
+
+/// Outcome the caller requires, mapped to the exit status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expectation {
+    /// At least one divergence must be reported.
+    Divergence,
+    /// No divergence may be reported.
+    Clean,
+}
+
+impl std::fmt::Display for Expectation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Expectation::Divergence => "divergence",
+            Expectation::Clean => "clean",
+        })
+    }
+}
+
+/// Parsed `tf-cli fuzz` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzArgs {
+    /// Campaign seed.
+    pub seed: u64,
+    /// Generated-instruction budget.
+    pub steps: u64,
+    /// Program length.
+    pub len: usize,
+    /// Bug scenario to inject into the DUT, if any.
+    pub mutant: Option<BugScenario>,
+    /// Required campaign outcome, if any.
+    pub expect: Option<Expectation>,
+    /// `-h`/`--help` was given: print usage instead of fuzzing.
+    pub help: bool,
+}
+
+impl Default for FuzzArgs {
+    fn default() -> Self {
+        FuzzArgs {
+            seed: 0,
+            steps: 10_000,
+            len: 32,
+            mutant: None,
+            expect: None,
+            help: false,
+        }
+    }
+}
+
+impl FuzzArgs {
+    /// Parse the arguments following the `fuzz` subcommand.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown flags, missing or
+    /// unparsable values.
+    pub fn parse(argv: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut args = FuzzArgs::default();
+        let mut argv = argv.peekable();
+        while let Some(flag) = argv.next() {
+            let mut value = |name: &str| {
+                argv.next()
+                    .ok_or_else(|| format!("`{name}` requires a value"))
+            };
+            match flag.as_str() {
+                "--seed" => args.seed = parse_int(&value("--seed")?, "--seed")?,
+                "--steps" => {
+                    args.steps = parse_int(&value("--steps")?, "--steps")?;
+                    if args.steps == 0 {
+                        return Err("`--steps` must be positive".into());
+                    }
+                }
+                "--len" => {
+                    args.len = parse_int(&value("--len")?, "--len")? as usize;
+                    if args.len == 0 {
+                        return Err("`--len` must be positive".into());
+                    }
+                }
+                "--mutant" => {
+                    let id = value("--mutant")?;
+                    args.mutant = Some(BugScenario::parse(&id).ok_or_else(|| {
+                        let known: Vec<&str> = BugScenario::ALL.iter().map(|s| s.id()).collect();
+                        format!("unknown mutant `{id}` (known: {})", known.join(", "))
+                    })?);
+                }
+                "--expect" => {
+                    args.expect = Some(match value("--expect")?.as_str() {
+                        "divergence" => Expectation::Divergence,
+                        "clean" => Expectation::Clean,
+                        other => {
+                            return Err(format!(
+                                "unknown expectation `{other}` (known: divergence, clean)"
+                            ))
+                        }
+                    });
+                }
+                "-h" | "--help" => args.help = true,
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        Ok(args)
+    }
+}
+
+fn parse_int(text: &str, flag: &str) -> Result<u64, String> {
+    text.parse()
+        .map_err(|_| format!("`{flag}` expects an integer, got `{text}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<FuzzArgs, String> {
+        FuzzArgs::parse(args.iter().map(ToString::to_string))
+    }
+
+    #[test]
+    fn defaults_when_no_flags() {
+        assert_eq!(parse(&[]).unwrap(), FuzzArgs::default());
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let args = parse(&[
+            "--seed",
+            "7",
+            "--steps",
+            "1000",
+            "--len",
+            "16",
+            "--mutant",
+            "b2",
+            "--expect",
+            "divergence",
+        ])
+        .unwrap();
+        assert_eq!(args.seed, 7);
+        assert_eq!(args.steps, 1000);
+        assert_eq!(args.len, 16);
+        assert_eq!(args.mutant, Some(BugScenario::B2ReservedRounding));
+        assert_eq!(args.expect, Some(Expectation::Divergence));
+    }
+
+    #[test]
+    fn every_scenario_id_parses() {
+        for scenario in BugScenario::ALL {
+            let args = parse(&["--mutant", scenario.id()]).unwrap();
+            assert_eq!(args.mutant, Some(scenario));
+        }
+    }
+
+    #[test]
+    fn help_flags_request_usage() {
+        assert!(parse(&["--help"]).unwrap().help);
+        assert!(parse(&["-h"]).unwrap().help);
+        assert!(!parse(&[]).unwrap().help);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse(&["--mutant", "nope"]).unwrap_err().contains("b2"));
+        assert!(parse(&["--seed"]).unwrap_err().contains("requires a value"));
+        assert!(parse(&["--steps", "x"]).unwrap_err().contains("integer"));
+        assert!(parse(&["--steps", "0"]).unwrap_err().contains("positive"));
+        assert!(parse(&["--frobnicate"])
+            .unwrap_err()
+            .contains("unknown flag"));
+        assert!(parse(&["--expect", "maybe"]).unwrap_err().contains("clean"));
+    }
+}

@@ -1,0 +1,111 @@
+//! `tf-cli` — command-line driver for TurboFuzz fuzzing campaigns.
+//!
+//! The binary is a thin shell over [`tf_fuzz::Campaign`]: it parses a
+//! handful of flags (hand-rolled — the container carries no argument-
+//! parsing dependency), builds the campaign, points it at the requested
+//! device under test (the golden hart, or a [`tf_arch::MutantHart`] with
+//! a planted bug scenario) and prints the [`tf_fuzz::CampaignReport`].
+//!
+//! ```text
+//! tf-cli fuzz --seed 7 --steps 10000 --mutant b2 --expect divergence
+//! ```
+//!
+//! `--expect divergence|clean` turns the campaign outcome into the exit
+//! status, which is how CI gates the fuzzer end to end.
+
+use std::process::ExitCode;
+
+use tf_arch::{Dut, Hart, MutantHart};
+use tf_fuzz::{Campaign, CampaignConfig};
+
+mod args;
+
+use args::{Expectation, FuzzArgs};
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    match argv.next().as_deref() {
+        Some("fuzz") => match FuzzArgs::parse(argv) {
+            Ok(args) => run_fuzz(&args),
+            Err(error) => {
+                eprintln!("tf-cli: {error}");
+                eprintln!("{}", args::USAGE);
+                ExitCode::from(1)
+            }
+        },
+        Some("--help" | "-h" | "help") | None => {
+            println!("{}", args::USAGE);
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("tf-cli: unknown command `{other}`");
+            eprintln!("{}", args::USAGE);
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn run_fuzz(args: &FuzzArgs) -> ExitCode {
+    if args.help {
+        println!("{}", args::USAGE);
+        return ExitCode::SUCCESS;
+    }
+    let config = CampaignConfig {
+        seed: args.seed,
+        instruction_budget: args.steps,
+        program_len: args.len,
+        ..CampaignConfig::default()
+    };
+    let mem_size = config.mem_size;
+    let mut campaign = Campaign::new(config);
+    let mut dut: Box<dyn Dut> = match args.mutant {
+        None => Box::new(Hart::new(mem_size)),
+        Some(scenario) => Box::new(MutantHart::new(mem_size, scenario)),
+    };
+    if let Some(scenario) = args.mutant {
+        println!("injected bug scenario — {scenario}");
+    }
+    let report = campaign.run(dut.as_mut());
+    println!("{report}");
+    match args.expect {
+        None => ExitCode::SUCCESS,
+        Some(Expectation::Divergence) if !report.is_clean() => ExitCode::SUCCESS,
+        Some(Expectation::Clean) if report.is_clean() => ExitCode::SUCCESS,
+        Some(expected) => {
+            eprintln!(
+                "tf-cli: expectation failed: wanted {expected}, campaign reported {}",
+                if report.is_clean() {
+                    "no divergence"
+                } else {
+                    "divergence"
+                }
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tf_arch::BugScenario;
+
+    #[test]
+    fn b2_campaign_diverges_and_clean_campaign_does_not() {
+        // The same end-to-end path `main` drives, minus the process exit.
+        let args = FuzzArgs {
+            seed: 1,
+            steps: 1_000,
+            mutant: Some(BugScenario::B2ReservedRounding),
+            expect: Some(Expectation::Divergence),
+            ..FuzzArgs::default()
+        };
+        assert_eq!(run_fuzz(&args), ExitCode::SUCCESS);
+        let args = FuzzArgs {
+            mutant: None,
+            expect: Some(Expectation::Clean),
+            ..args
+        };
+        assert_eq!(run_fuzz(&args), ExitCode::SUCCESS);
+    }
+}

@@ -1,0 +1,293 @@
+//! The campaign driver: the paper's fuzzing loop, end to end.
+//!
+//! One iteration of the loop: obtain a program (freshly generated, or
+//! mutated from a coverage-earning corpus seed), run it differentially
+//! against the device under test with the [`DiffEngine`], then act on
+//! the verdict — new trace coverage earns the program a corpus slot,
+//! and a divergence is minimized to a near-minimal reproducer and
+//! recorded as a bug report. The loop runs until the configured budget
+//! of generated instructions is spent, and the whole campaign is a pure
+//! function of its seed.
+
+use tf_arch::{Dut, Hart, RunExit};
+use tf_riscv::{InstructionLibrary, LibraryConfig};
+
+use crate::corpus::{minimize, Corpus};
+use crate::coverage::CoverageMap;
+use crate::diff::{DiffEngine, DiffVerdict, Divergence};
+use crate::generator::{GeneratorConfig, ProgramGenerator};
+use crate::rng::SplitMix64;
+
+/// Divergence reports kept in full; beyond this only the count grows.
+const MAX_REPORTS: usize = 16;
+
+/// Campaign parameters. A campaign is reproducible from this value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignConfig {
+    /// Master seed for generation, mutation and scheduling.
+    pub seed: u64,
+    /// Total generated-instruction budget for the campaign.
+    pub instruction_budget: u64,
+    /// Instructions per generated program (including the `ebreak`).
+    pub program_len: usize,
+    /// Step budget per differential run.
+    pub max_steps_per_program: u64,
+    /// Device memory size in bytes.
+    pub mem_size: u64,
+    /// Load address for generated programs.
+    pub base: u64,
+    /// Instruction-repository configuration to sample from.
+    pub library: LibraryConfig,
+    /// Generator tuning.
+    pub generator: GeneratorConfig,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seed: 0,
+            instruction_budget: 10_000,
+            program_len: 32,
+            max_steps_per_program: 128,
+            mem_size: 1 << 20,
+            base: 0,
+            library: LibraryConfig::all(),
+            generator: GeneratorConfig::default(),
+        }
+    }
+}
+
+/// What a finished campaign observed.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignReport {
+    /// Name of the device under test.
+    pub dut: String,
+    /// Programs executed differentially.
+    pub programs: u64,
+    /// Instructions generated (the budget currency).
+    pub instructions_generated: u64,
+    /// Lockstep steps executed across all runs.
+    pub steps_executed: u64,
+    /// Runs that ended at the `ebreak` terminator.
+    pub breakpoint_exits: u64,
+    /// Runs that ended on an `ecall`.
+    pub ecall_exits: u64,
+    /// Runs that exhausted the step budget.
+    pub out_of_gas_exits: u64,
+    /// Distinct execution-trace digests observed.
+    pub unique_traces: usize,
+    /// Corpus entries saved (programs that produced new coverage).
+    pub corpus_size: usize,
+    /// Total divergent runs observed.
+    pub divergent_runs: u64,
+    /// Minimized divergence reports (the first 16; beyond that only
+    /// [`CampaignReport::divergent_runs`] grows).
+    pub divergences: Vec<Divergence>,
+}
+
+impl CampaignReport {
+    /// True when no divergence was observed.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.divergent_runs == 0
+    }
+}
+
+impl std::fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "campaign against `{}`:", self.dut)?;
+        writeln!(
+            f,
+            "  programs {}  instructions {}  steps {}",
+            self.programs, self.instructions_generated, self.steps_executed
+        )?;
+        writeln!(
+            f,
+            "  exits: breakpoint {}  ecall {}  out-of-gas {}",
+            self.breakpoint_exits, self.ecall_exits, self.out_of_gas_exits
+        )?;
+        writeln!(
+            f,
+            "  coverage: {} unique traces, {} corpus seeds",
+            self.unique_traces, self.corpus_size
+        )?;
+        if self.is_clean() {
+            write!(f, "  divergences: none")?;
+        } else {
+            write!(f, "  divergences: {} divergent runs", self.divergent_runs)?;
+            for divergence in &self.divergences {
+                write!(f, "\n{divergence}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The fuzzing-campaign driver.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    config: CampaignConfig,
+    generator: ProgramGenerator,
+    corpus: Corpus,
+    coverage: CoverageMap,
+    engine: DiffEngine,
+    rng: SplitMix64,
+}
+
+impl Campaign {
+    /// Build a campaign from its configuration.
+    #[must_use]
+    pub fn new(config: CampaignConfig) -> Self {
+        let library = InstructionLibrary::new(config.library, config.seed);
+        let generator = ProgramGenerator::with_config(library, config.seed ^ 1, config.generator);
+        let engine = DiffEngine::new(config.base, config.max_steps_per_program);
+        Campaign {
+            generator,
+            corpus: Corpus::new(config.seed ^ 2),
+            coverage: CoverageMap::new(),
+            engine,
+            rng: SplitMix64::new(config.seed ^ 3),
+            config,
+        }
+    }
+
+    /// The configuration the campaign was built from.
+    #[must_use]
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// Run the campaign against `dut`, differencing every program
+    /// against a fresh golden [`Hart`] reference.
+    pub fn run(&mut self, dut: &mut dyn Dut) -> CampaignReport {
+        let mut reference = Hart::new(self.config.mem_size);
+        let mut report = CampaignReport {
+            dut: dut.name().to_string(),
+            ..CampaignReport::default()
+        };
+        while report.instructions_generated < self.config.instruction_budget {
+            // Half the schedule explores fresh programs, half exploits
+            // the corpus — once there is a corpus to exploit.
+            let mutated = !self.corpus.is_empty() && self.rng.chance(128);
+            let program = if mutated {
+                self.corpus
+                    .mutate(&mut self.generator)
+                    .unwrap_or_else(|| self.generator.generate(self.config.program_len))
+            } else {
+                self.generator.generate(self.config.program_len)
+            };
+            report.programs += 1;
+            report.instructions_generated += program.len() as u64;
+            match self.engine.diff(&mut reference, dut, &program) {
+                Err(_) => {
+                    // Unloadable program (cannot happen with in-range
+                    // generator output, but mutation keeps the door open).
+                }
+                Ok(DiffVerdict::Agree {
+                    steps,
+                    exit,
+                    trace_digest,
+                }) => {
+                    report.steps_executed += steps;
+                    match exit {
+                        RunExit::Breakpoint { .. } => report.breakpoint_exits += 1,
+                        RunExit::EnvironmentCall { .. } => report.ecall_exits += 1,
+                        RunExit::OutOfGas => report.out_of_gas_exits += 1,
+                    }
+                    if self.coverage.observe(trace_digest) {
+                        self.corpus.save(program, trace_digest);
+                    }
+                }
+                Ok(DiffVerdict::Diverged(divergence)) => {
+                    report.steps_executed += divergence.step;
+                    report.divergent_runs += 1;
+                    if report.divergences.len() < MAX_REPORTS {
+                        let minimized = self.reproduce(&mut reference, dut, &program);
+                        report.divergences.push(minimized.unwrap_or(divergence));
+                    }
+                }
+            }
+        }
+        report.unique_traces = self.coverage.unique();
+        report.corpus_size = self.corpus.len();
+        report
+    }
+
+    /// Shrink a divergence-triggering program and re-run it, returning
+    /// the divergence of the minimized reproducer.
+    fn reproduce(
+        &mut self,
+        reference: &mut Hart,
+        dut: &mut dyn Dut,
+        program: &[tf_riscv::Instruction],
+    ) -> Option<Divergence> {
+        let engine = self.engine;
+        let minimized = minimize(program, |candidate| {
+            matches!(
+                engine.diff(reference, dut, candidate),
+                Ok(DiffVerdict::Diverged(_))
+            )
+        });
+        match engine.diff(reference, dut, &minimized) {
+            Ok(DiffVerdict::Diverged(divergence)) => Some(divergence),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tf_arch::{BugScenario, MutantHart};
+
+    fn config(budget: u64) -> CampaignConfig {
+        CampaignConfig {
+            seed: 0xF00D,
+            instruction_budget: budget,
+            mem_size: 1 << 16,
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn clean_campaign_against_the_reference_model() {
+        let mut campaign = Campaign::new(config(2_000));
+        let mut dut = Hart::new(1 << 16);
+        let report = campaign.run(&mut dut);
+        assert!(
+            report.is_clean(),
+            "reference vs reference diverged:\n{report}"
+        );
+        assert!(report.instructions_generated >= 2_000);
+        assert!(report.unique_traces > 1, "campaign found no variety");
+        assert_eq!(report.corpus_size, report.unique_traces);
+        assert_eq!(report.dut, "hart");
+    }
+
+    #[test]
+    fn campaign_flags_the_b2_mutant() {
+        let mut campaign = Campaign::new(config(2_000));
+        let mut dut = MutantHart::new(1 << 16, BugScenario::B2ReservedRounding);
+        let report = campaign.run(&mut dut);
+        assert!(!report.is_clean(), "b2 mutant went undetected:\n{report}");
+        let divergence = &report.divergences[0];
+        // The minimized reproducer localises an FP step: reference traps,
+        // mutant retires.
+        assert!(
+            report.to_string().contains("illegal instruction"),
+            "report does not show the reference trap:\n{report}"
+        );
+        assert_ne!(divergence.reference_digest, divergence.dut_digest);
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let run = || {
+            let mut campaign = Campaign::new(config(1_000));
+            let mut dut = Hart::new(1 << 16);
+            let report = campaign.run(&mut dut);
+            (report.programs, report.steps_executed, report.unique_traces)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,198 @@
+//! The seed corpus: interesting programs and how to evolve them.
+//!
+//! Programs that produced new coverage are saved with their trace
+//! digest. Later campaign iterations draw on the corpus instead of
+//! always generating from scratch: [`Corpus::mutate`] applies small
+//! structural edits (replace / insert / delete) that preserve the
+//! `ebreak` terminator, and [`minimize`] shrinks a divergence-triggering
+//! program to a near-minimal reproducer before it is reported — the
+//! classic corpus/stage decomposition of coverage-guided fuzzers.
+
+use tf_riscv::Instruction;
+
+use crate::generator::ProgramGenerator;
+use crate::rng::SplitMix64;
+
+/// One saved program and the trace digest that made it interesting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeedEntry {
+    /// The program, `ebreak`-terminated.
+    pub program: Vec<Instruction>,
+    /// Digest of the reference execution trace it produced.
+    pub trace_digest: u64,
+}
+
+/// Seed programs that earned their place by producing new coverage.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    entries: Vec<SeedEntry>,
+    rng: SplitMix64,
+}
+
+impl Corpus {
+    /// An empty corpus with a deterministic mutation stream.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Corpus {
+            entries: Vec::new(),
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Save a program and the trace digest it covered.
+    pub fn save(&mut self, program: Vec<Instruction>, trace_digest: u64) {
+        self.entries.push(SeedEntry {
+            program,
+            trace_digest,
+        });
+    }
+
+    /// The saved entries, oldest first.
+    #[must_use]
+    pub fn entries(&self) -> &[SeedEntry] {
+        &self.entries
+    }
+
+    /// Number of saved seeds.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been saved.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Pick a saved seed and derive a mutant from it: one to three edits
+    /// (replace an instruction with a fresh library sample, insert one,
+    /// or delete one), never touching the trailing `ebreak`.
+    ///
+    /// Returns `None` when the corpus is empty or the generator's
+    /// library cannot supply replacement instructions.
+    pub fn mutate(&mut self, generator: &mut ProgramGenerator) -> Option<Vec<Instruction>> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let pick = self.rng.below(self.entries.len() as u64) as usize;
+        let mut program = self.entries[pick].program.clone();
+        let edits = 1 + self.rng.below(3);
+        for _ in 0..edits {
+            // The final ebreak is immutable; body is everything before it.
+            let body = program.len() - 1;
+            match self.rng.below(3) {
+                0 if body > 0 => {
+                    let at = self.rng.below(body as u64) as usize;
+                    program[at] = generator.sample_insn()?;
+                }
+                1 => {
+                    let at = self.rng.below(body as u64 + 1) as usize;
+                    program.insert(at, generator.sample_insn()?);
+                }
+                _ if body > 0 => {
+                    let at = self.rng.below(body as u64) as usize;
+                    program.remove(at);
+                }
+                _ => {}
+            }
+        }
+        Some(program)
+    }
+}
+
+/// Shrink an interesting program while a predicate stays true.
+///
+/// Greedy one-instruction elimination, iterated to a fixed point: each
+/// round tries dropping every body instruction in turn and keeps the
+/// removal whenever `still_interesting` accepts the shorter program. The
+/// trailing `ebreak` terminator is never removed. The predicate is
+/// typically "the diff engine still reports a divergence", making the
+/// result a near-minimal reproducer.
+pub fn minimize<F>(program: &[Instruction], mut still_interesting: F) -> Vec<Instruction>
+where
+    F: FnMut(&[Instruction]) -> bool,
+{
+    let mut current = program.to_vec();
+    let mut shrunk = true;
+    while shrunk && current.len() > 1 {
+        shrunk = false;
+        let mut at = 0;
+        while at + 1 < current.len() {
+            let mut candidate = current.clone();
+            candidate.remove(at);
+            if still_interesting(&candidate) {
+                current = candidate;
+                shrunk = true;
+            } else {
+                at += 1;
+            }
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tf_riscv::{Gpr, InstructionLibrary, LibraryConfig, Opcode};
+
+    fn ebreak() -> Instruction {
+        Instruction::system(Opcode::Ebreak)
+    }
+
+    fn addi(rd: u8, imm: i64) -> Instruction {
+        Instruction::i_type(Opcode::Addi, Gpr::new(rd).unwrap(), Gpr::ZERO, imm).unwrap()
+    }
+
+    fn generator() -> ProgramGenerator {
+        ProgramGenerator::new(InstructionLibrary::new(LibraryConfig::all(), 5), 5)
+    }
+
+    #[test]
+    fn mutate_preserves_the_terminator() {
+        let mut corpus = Corpus::new(1);
+        corpus.save(vec![addi(1, 1), addi(2, 2), addi(3, 3), ebreak()], 0x11);
+        let mut generator = generator();
+        for _ in 0..64 {
+            let mutated = corpus.mutate(&mut generator).unwrap();
+            assert_eq!(mutated.last().unwrap().opcode(), Opcode::Ebreak);
+            assert!(!mutated.is_empty());
+        }
+    }
+
+    #[test]
+    fn mutate_on_empty_corpus_is_none() {
+        let mut corpus = Corpus::new(1);
+        assert!(corpus.mutate(&mut generator()).is_none());
+        assert!(corpus.is_empty());
+        assert_eq!(corpus.len(), 0);
+    }
+
+    #[test]
+    fn mutants_eventually_differ_from_their_seed() {
+        let seed_program = vec![addi(1, 1), addi(2, 2), ebreak()];
+        let mut corpus = Corpus::new(2);
+        corpus.save(seed_program.clone(), 0x22);
+        let mut generator = generator();
+        let changed = (0..32)
+            .filter_map(|_| corpus.mutate(&mut generator))
+            .any(|m| m != seed_program);
+        assert!(changed, "32 mutations never changed the program");
+    }
+
+    #[test]
+    fn minimize_strips_irrelevant_instructions() {
+        // Interesting iff the program still writes 7 into x5.
+        let program = vec![addi(1, 1), addi(5, 7), addi(2, 2), addi(3, 3), ebreak()];
+        let minimized = minimize(&program, |p| p.contains(&addi(5, 7)));
+        assert_eq!(minimized, vec![addi(5, 7), ebreak()]);
+    }
+
+    #[test]
+    fn minimize_never_drops_the_terminator() {
+        let program = vec![addi(1, 1), ebreak()];
+        let minimized = minimize(&program, |_| true);
+        assert_eq!(minimized, vec![ebreak()]);
+    }
+}

@@ -1,0 +1,66 @@
+//! Trace-digest coverage: which architectural paths a campaign has seen.
+//!
+//! The paper's coverage model compares *behaviour*, not branches: two
+//! runs cover the same point iff their execution traces digest equally
+//! (same pcs, words, outcomes and defined values — see
+//! [`ExecutionTrace::digest`](tf_arch::ExecutionTrace::digest)). The
+//! [`CoverageMap`] is the campaign's memory of those digests; a program
+//! whose trace digest is new is interesting and earns a corpus slot.
+
+use std::collections::HashSet;
+
+/// Set of execution-trace digests observed so far.
+#[derive(Debug, Clone, Default)]
+pub struct CoverageMap {
+    seen: HashSet<u64>,
+    observations: u64,
+}
+
+impl CoverageMap {
+    /// An empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a trace digest. Returns `true` when it is new coverage.
+    pub fn observe(&mut self, trace_digest: u64) -> bool {
+        self.observations += 1;
+        self.seen.insert(trace_digest)
+    }
+
+    /// True when the digest has been observed before.
+    #[must_use]
+    pub fn contains(&self, trace_digest: u64) -> bool {
+        self.seen.contains(&trace_digest)
+    }
+
+    /// Number of distinct trace digests seen.
+    #[must_use]
+    pub fn unique(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Total observations, including repeats.
+    #[must_use]
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_observation_is_new_repeat_is_not() {
+        let mut map = CoverageMap::new();
+        assert!(map.observe(0xAB));
+        assert!(!map.observe(0xAB));
+        assert!(map.observe(0xCD));
+        assert_eq!(map.unique(), 2);
+        assert_eq!(map.observations(), 3);
+        assert!(map.contains(0xAB));
+        assert!(!map.contains(0xEF));
+    }
+}

@@ -1,0 +1,324 @@
+//! Lockstep differential execution: reference vs device under test.
+//!
+//! The [`DiffEngine`] loads the same program into the golden reference
+//! and a [`Dut`], steps both in lockstep and compares after every step:
+//! first the recorded [`TraceEntry`]s (pc, fetched word, outcome,
+//! defined-register value), then the full architectural digests
+//! (registers, CSRs and memory — catching divergences trace entries
+//! cannot see, like a dropped `fflags` update). The first mismatching
+//! step is reported as a [`Divergence`] carrying both sides' entries,
+//! which is the paper's bug-scenario localisation: not just *that* the
+//! device differs, but the exact instruction where it went wrong.
+
+use tf_arch::{Dut, RunExit, StepOutcome, TraceEntry, Trap};
+use tf_riscv::Instruction;
+
+/// How a differential run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffVerdict {
+    /// Reference and DUT agreed at every step.
+    Agree {
+        /// Steps both sides executed.
+        steps: u64,
+        /// Why the run ended.
+        exit: RunExit,
+        /// Digest of the reference execution trace (coverage key).
+        trace_digest: u64,
+    },
+    /// The DUT diverged from the reference.
+    Diverged(Divergence),
+}
+
+/// The first observed disagreement between reference and DUT.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// 1-based step index at which the divergence was observed.
+    pub step: u64,
+    /// What the reference did at that step, when tracing captured it.
+    pub reference: Option<TraceEntry>,
+    /// What the DUT did at that step.
+    pub dut: Option<TraceEntry>,
+    /// Reference architectural digest after the step.
+    pub reference_digest: u64,
+    /// DUT architectural digest after the step.
+    pub dut_digest: u64,
+}
+
+fn write_entry(f: &mut std::fmt::Formatter<'_>, entry: Option<&TraceEntry>) -> std::fmt::Result {
+    match entry {
+        None => f.write_str("<no trace entry>"),
+        Some(entry) => {
+            write!(f, "pc={:#x}", entry.pc)?;
+            if let Some(word) = entry.word {
+                write!(f, " word={word:#010x}")?;
+            }
+            match &entry.outcome {
+                StepOutcome::Retired(insn) => write!(f, " retired `{insn}`")?,
+                StepOutcome::Trapped(trap) => write!(f, " trapped: {trap}")?,
+            }
+            if let Some((reg, value)) = entry.def {
+                write!(f, " ({reg} <- {value:#x})")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "divergence at step {}:", self.step)?;
+        f.write_str("  reference: ")?;
+        write_entry(f, self.reference.as_ref())?;
+        f.write_str("\n  dut:       ")?;
+        write_entry(f, self.dut.as_ref())?;
+        write!(
+            f,
+            "\n  digests:   reference {:#018x} vs dut {:#018x}",
+            self.reference_digest, self.dut_digest
+        )
+    }
+}
+
+/// Lockstep differential executor.
+#[derive(Debug, Clone, Copy)]
+pub struct DiffEngine {
+    base: u64,
+    max_steps: u64,
+}
+
+impl DiffEngine {
+    /// An engine loading programs at `base` with a per-run step budget.
+    #[must_use]
+    pub fn new(base: u64, max_steps: u64) -> Self {
+        DiffEngine { base, max_steps }
+    }
+
+    /// The per-run step budget.
+    #[must_use]
+    pub fn max_steps(&self) -> u64 {
+        self.max_steps
+    }
+
+    /// Reset both devices, load `program` into each, and execute in
+    /// lockstep until divergence, program end (`ebreak`/`ecall`) or the
+    /// step budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Trap`] raised when the program cannot be loaded
+    /// (does not fit in memory, or fails to encode).
+    pub fn diff(
+        &self,
+        reference: &mut dyn Dut,
+        dut: &mut dyn Dut,
+        program: &[Instruction],
+    ) -> Result<DiffVerdict, Trap> {
+        reference.reset();
+        dut.reset();
+        reference.load(self.base, program)?;
+        dut.load(self.base, program)?;
+        reference.enable_tracing();
+        dut.enable_tracing();
+
+        let mut verdict = None;
+        let mut steps = 0;
+        while steps < self.max_steps {
+            let ref_outcome = reference.step();
+            let dut_outcome = dut.step();
+            steps += 1;
+            let (ref_digest, dut_digest) = (reference.digest(), dut.digest());
+            if ref_outcome != dut_outcome || ref_digest != dut_digest {
+                verdict = Some((steps, ref_digest, dut_digest));
+                break;
+            }
+            match ref_outcome {
+                StepOutcome::Trapped(Trap::Breakpoint { .. }) => {
+                    return Ok(self.agree(reference, dut, RunExit::Breakpoint { steps }, steps));
+                }
+                StepOutcome::Trapped(Trap::EnvironmentCall) => {
+                    return Ok(self.agree(
+                        reference,
+                        dut,
+                        RunExit::EnvironmentCall { steps },
+                        steps,
+                    ));
+                }
+                _ => {}
+            }
+        }
+        match verdict {
+            None => Ok(self.agree(reference, dut, RunExit::OutOfGas, steps)),
+            Some((step, reference_digest, dut_digest)) => {
+                let ref_entry = reference
+                    .take_trace()
+                    .and_then(|t| t.entries().last().copied());
+                let dut_entry = dut.take_trace().and_then(|t| t.entries().last().copied());
+                Ok(DiffVerdict::Diverged(Divergence {
+                    step,
+                    reference: ref_entry,
+                    dut: dut_entry,
+                    reference_digest,
+                    dut_digest,
+                }))
+            }
+        }
+    }
+
+    fn agree(
+        &self,
+        reference: &mut dyn Dut,
+        dut: &mut dyn Dut,
+        exit: RunExit,
+        steps: u64,
+    ) -> DiffVerdict {
+        let trace_digest = reference.take_trace().map_or(0, |t| t.digest());
+        dut.take_trace();
+        DiffVerdict::Agree {
+            steps,
+            exit,
+            trace_digest,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tf_arch::{BugScenario, Hart, MutantHart};
+    use tf_riscv::{csr, Fpr, Gpr, Opcode, RoundingMode};
+
+    const MEM: u64 = 1 << 16;
+
+    fn x(i: u8) -> Gpr {
+        Gpr::new(i).unwrap()
+    }
+
+    fn f(i: u8) -> Fpr {
+        Fpr::new(i).unwrap()
+    }
+
+    #[test]
+    fn identical_devices_agree() {
+        let program = [
+            Instruction::i_type(Opcode::Addi, x(1), Gpr::ZERO, 5).unwrap(),
+            Instruction::r_type(Opcode::Add, x(2), x(1), x(1)),
+            Instruction::system(Opcode::Ebreak),
+        ];
+        let engine = DiffEngine::new(0, 100);
+        let mut reference = Hart::new(MEM);
+        let mut dut = Hart::new(MEM);
+        let verdict = engine.diff(&mut reference, &mut dut, &program).unwrap();
+        match verdict {
+            DiffVerdict::Agree {
+                steps,
+                exit,
+                trace_digest,
+            } => {
+                assert_eq!(steps, 3);
+                assert_eq!(exit, RunExit::Breakpoint { steps: 3 });
+                assert_ne!(trace_digest, 0);
+            }
+            DiffVerdict::Diverged(d) => panic!("unexpected divergence: {d}"),
+        }
+    }
+
+    #[test]
+    fn b2_mutant_divergence_is_localised_to_the_fp_step() {
+        let program = [
+            Instruction::csr_imm(Opcode::Csrrwi, Gpr::ZERO, csr::FRM, 0b101).unwrap(),
+            Instruction::fp_r_type(Opcode::FaddS, f(1), f(2), f(3), Some(RoundingMode::Dyn))
+                .unwrap(),
+            Instruction::system(Opcode::Ebreak),
+        ];
+        let engine = DiffEngine::new(0, 100);
+        let mut reference = Hart::new(MEM);
+        let mut dut = MutantHart::new(MEM, BugScenario::B2ReservedRounding);
+        let verdict = engine.diff(&mut reference, &mut dut, &program).unwrap();
+        let DiffVerdict::Diverged(divergence) = verdict else {
+            panic!("b2 mutant must diverge");
+        };
+        assert_eq!(divergence.step, 2, "divergence is at the FP instruction");
+        assert!(matches!(
+            divergence.reference.unwrap().outcome,
+            StepOutcome::Trapped(Trap::IllegalInstruction { .. })
+        ));
+        assert!(matches!(
+            divergence.dut.unwrap().outcome,
+            StepOutcome::Retired(_)
+        ));
+        assert_ne!(divergence.reference_digest, divergence.dut_digest);
+        let report = divergence.to_string();
+        assert!(report.contains("divergence at step 2"), "{report}");
+        assert!(report.contains("illegal instruction"), "{report}");
+    }
+
+    #[test]
+    fn fflags_mutant_diverges_on_digest_despite_equal_entries() {
+        let mut reference = Hart::new(MEM);
+        let mut dut = MutantHart::new(MEM, BugScenario::DroppedFflags);
+        // 1/3 is inexact -> reference accrues NX, mutant drops it. Both
+        // retire the same instruction with the same register result.
+        let program = [
+            Instruction::i_type(Opcode::Addi, x(1), Gpr::ZERO, 1).unwrap(),
+            Instruction::fp_unary(
+                Opcode::FcvtSW,
+                tf_riscv::Reg::F(f(2)),
+                tf_riscv::Reg::X(x(1)),
+                Some(RoundingMode::Rne),
+            )
+            .unwrap(),
+            Instruction::i_type(Opcode::Addi, x(3), Gpr::ZERO, 3).unwrap(),
+            Instruction::fp_unary(
+                Opcode::FcvtSW,
+                tf_riscv::Reg::F(f(4)),
+                tf_riscv::Reg::X(x(3)),
+                Some(RoundingMode::Rne),
+            )
+            .unwrap(),
+            Instruction::fp_r_type(Opcode::FdivS, f(5), f(2), f(4), Some(RoundingMode::Rne))
+                .unwrap(),
+            Instruction::system(Opcode::Ebreak),
+        ];
+        let engine = DiffEngine::new(0, 100);
+        let verdict = engine.diff(&mut reference, &mut dut, &program).unwrap();
+        let DiffVerdict::Diverged(divergence) = verdict else {
+            panic!("fflags mutant must diverge");
+        };
+        assert_eq!(divergence.step, 5, "localised to the inexact division");
+        // Same retirement on both sides; only the digest disagrees.
+        assert_eq!(divergence.reference, divergence.dut);
+        assert_ne!(divergence.reference_digest, divergence.dut_digest);
+    }
+
+    #[test]
+    fn load_failures_surface_as_traps() {
+        let engine = DiffEngine::new(0, 10);
+        let mut reference = Hart::new(16);
+        let mut dut = Hart::new(16);
+        let program = vec![Instruction::nop(); 32];
+        let err = engine.diff(&mut reference, &mut dut, &program).unwrap_err();
+        assert!(matches!(err, Trap::StoreFault { .. }));
+    }
+
+    #[test]
+    fn out_of_gas_still_agrees() {
+        let engine = DiffEngine::new(0, 4);
+        let mut reference = Hart::new(MEM);
+        let mut dut = Hart::new(MEM);
+        // An infinite loop: jal x0, 0 jumps to itself.
+        let program = [Instruction::j_type(
+            Opcode::Jal,
+            Gpr::ZERO,
+            tf_riscv::JumpOffset::new(0).unwrap(),
+        )];
+        let verdict = engine.diff(&mut reference, &mut dut, &program).unwrap();
+        assert!(matches!(
+            verdict,
+            DiffVerdict::Agree {
+                steps: 4,
+                exit: RunExit::OutOfGas,
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,62 @@
+//! Differential fuzzing core for the TurboFuzz reproduction.
+//!
+//! This crate is the third layer of the workspace: it closes the paper's
+//! loop by sampling prime-instruction programs from the configurable
+//! repository ([`tf_riscv::InstructionLibrary`]), executing them on a
+//! device under test behind the [`tf_arch::Dut`] boundary, and differencing
+//! every step against the golden [`tf_arch::Hart`] reference model.
+//!
+//! * [`ProgramGenerator`] — dataflow-aware generation: per-slot candidate
+//!   tournaments bias operand choice toward reusing recently defined
+//!   registers, rounding-mode stressors target the paper's B2 scenario, and
+//!   every program ends in `ebreak`.
+//! * [`CoverageMap`] — behavioural coverage keyed on execution-trace
+//!   digests ([`tf_arch::ExecutionTrace::digest`]).
+//! * [`Corpus`] — seed programs that earned new coverage, with
+//!   deterministic mutation ([`Corpus::mutate`]) and reproducer shrinking
+//!   ([`minimize`]).
+//! * [`DiffEngine`] — lockstep reference-vs-DUT execution that localises
+//!   the first diverging [`tf_arch::TraceEntry`].
+//! * [`Campaign`] — the driver tying it all together, reproducible from a
+//!   single seed and reported through [`CampaignReport`].
+//!
+//! # Example
+//!
+//! A thousand-instruction campaign against a device with the paper's B2
+//! bug (reserved dynamic rounding modes are accepted instead of trapping)
+//! flags the divergence; the same campaign against the golden model is
+//! clean:
+//!
+//! ```
+//! use tf_arch::{BugScenario, Hart, MutantHart};
+//! use tf_fuzz::{Campaign, CampaignConfig};
+//!
+//! let config = CampaignConfig {
+//!     instruction_budget: 1_000,
+//!     mem_size: 1 << 16,
+//!     ..CampaignConfig::default()
+//! };
+//! let mut mutant = MutantHart::new(1 << 16, BugScenario::B2ReservedRounding);
+//! let report = Campaign::new(config.clone()).run(&mut mutant);
+//! assert!(!report.is_clean());
+//!
+//! let mut golden = Hart::new(1 << 16);
+//! let report = Campaign::new(config).run(&mut golden);
+//! assert!(report.is_clean());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod campaign;
+mod corpus;
+mod coverage;
+mod diff;
+mod generator;
+mod rng;
+
+pub use campaign::{Campaign, CampaignConfig, CampaignReport};
+pub use corpus::{minimize, Corpus, SeedEntry};
+pub use coverage::CoverageMap;
+pub use diff::{DiffEngine, DiffVerdict, Divergence};
+pub use generator::{GeneratorConfig, ProgramGenerator};
