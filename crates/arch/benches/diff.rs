@@ -1,0 +1,149 @@
+//! Lockstep differential throughput: the fuzzing loop's true hot path.
+//!
+//! `Hart::step` alone understates campaign cost — every lockstep step
+//! also digests *both* sides' full architectural state. This bench
+//! measures exactly that path with the real `tf_fuzz` machinery:
+//!
+//! * **diff** — `DiffEngine::diff` of the golden hart against itself on
+//!   a chaos workload, reported as ns per lockstep step (two `step`s and
+//!   two digests per step). This is the number the incremental
+//!   `Memory::digest` / cached `ArchState::digest` work moves.
+//! * **campaign-jobs1 / campaign-jobsN** — whole sharded campaigns
+//!   (generation, lockstep diffing, coverage, corpus) reported as
+//!   aggregate steps per wall-clock second, 1 worker vs N.
+//!
+//! Medians land in `BENCH_arch.json` next to the interpreter numbers
+//! (see `benches/json.rs`); `TF_BENCH_SMOKE=1` shrinks everything to a
+//! completes-and-emits-valid-JSON check for CI.
+
+mod json;
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use tf_arch::Hart;
+use tf_fuzz::{run_sharded, CampaignConfig, DiffEngine, DiffVerdict};
+use tf_riscv::{Instruction, InstructionLibrary, LibraryConfig, Opcode};
+
+const MEM_SIZE: u64 = 1 << 20;
+const JOBS: usize = 4;
+
+/// A deterministic random instruction stream over the full library —
+/// the same chaos recipe as the `step` bench, so numbers line up.
+fn chaos_program(len: usize) -> Vec<Instruction> {
+    let mut library = InstructionLibrary::new(LibraryConfig::all(), 0xC4A0_5BEE);
+    let mut program = library.sample_program(len).expect("full library");
+    program.push(Instruction::system(Opcode::Ebreak));
+    program
+}
+
+/// Median ns per lockstep step of reference-vs-reference diffing.
+fn bench_diff(samples: usize, max_steps: u64) -> f64 {
+    let program = chaos_program(2_048);
+    let engine = DiffEngine::new(0, max_steps);
+    let mut reference = Hart::new(MEM_SIZE);
+    let mut dut = Hart::new(MEM_SIZE);
+    let mut run_once = || {
+        let start = Instant::now();
+        let verdict = engine
+            .diff(&mut reference, &mut dut, &program)
+            .expect("program loads");
+        let elapsed = start.elapsed();
+        let DiffVerdict::Agree { steps, .. } = black_box(verdict) else {
+            panic!("reference diverged from itself");
+        };
+        elapsed.as_nanos() as f64 / steps as f64
+    };
+    run_once(); // warm-up
+    let mut per_step: Vec<f64> = (0..samples).map(|_| run_once()).collect();
+    per_step.sort_by(f64::total_cmp);
+    let median = per_step[per_step.len() / 2];
+    println!(
+        "diff     {median:8.1} ns/lockstep-step  (min {:.1}, max {:.1} over {} samples)",
+        per_step[0],
+        per_step[per_step.len() - 1],
+        per_step.len(),
+    );
+    median
+}
+
+/// Median ns per `Hart::digest` call on a hart with `pages` resident
+/// dirty pages and a settled cache — the cost every lockstep step pays
+/// twice. With the incremental cache this stays flat as `pages` grows;
+/// the from-scratch rescan (the pre-incremental algorithm) is measured
+/// alongside as the contrast.
+fn bench_digest_resident(pages: u64, iters: u32) -> (f64, f64) {
+    let mut hart = Hart::new(pages * 2 * tf_arch::PAGE_SIZE);
+    for page in 0..pages {
+        hart.mem_mut()
+            .store_u64(page * tf_arch::PAGE_SIZE, page + 1)
+            .expect("in bounds");
+    }
+    black_box(hart.digest()); // settle the page-hash cache
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(hart.digest());
+    }
+    let cached = start.elapsed().as_nanos() as f64 / f64::from(iters);
+    // The rescan is O(resident) per call; a handful of iterations gives a
+    // stable mean without dominating the bench's runtime.
+    let rescan_iters = (iters / 20).max(3);
+    let start = Instant::now();
+    for _ in 0..rescan_iters {
+        black_box(hart.mem().digest_from_scratch());
+        black_box(hart.state().digest_uncached());
+    }
+    let rescan = start.elapsed().as_nanos() as f64 / f64::from(rescan_iters);
+    println!(
+        "digest   {cached:8.1} ns cached vs {rescan:10.1} ns full-rescan  ({pages} resident pages)"
+    );
+    (cached, rescan)
+}
+
+/// Aggregate steps/sec of a whole campaign sharded over `jobs` workers.
+fn bench_campaign(jobs: usize, budget: u64) -> f64 {
+    let config = CampaignConfig {
+        seed: 0xBE9C,
+        instruction_budget: budget,
+        mem_size: 1 << 16,
+        ..CampaignConfig::default()
+    };
+    let sharded = run_sharded(&config, jobs, |_| Hart::new(1 << 16));
+    assert!(sharded.merged.is_clean(), "reference campaign diverged");
+    let throughput = sharded.steps_per_sec();
+    println!(
+        "campaign-jobs{jobs} {throughput:12.0} steps/sec  ({} programs, {} steps, {:.2} s wall)",
+        sharded.merged.programs,
+        sharded.merged.steps_executed,
+        sharded.elapsed.as_secs_f64(),
+    );
+    throughput
+}
+
+fn main() {
+    let smoke = json::smoke();
+    let (samples, max_steps, budget) = if smoke {
+        (2, 2_000, 2_000)
+    } else {
+        (15, 100_000, 200_000)
+    };
+    let iters = if smoke { 10 } else { 2_000 };
+    println!("tf_arch lockstep differential throughput (DiffEngine over Dut)");
+    let diff = bench_diff(samples, max_steps);
+    let (digest_small, _) = bench_digest_resident(8, iters);
+    let (digest_large, rescan_large) = bench_digest_resident(512, iters);
+    let jobs1 = bench_campaign(1, budget);
+    let jobsn = bench_campaign(JOBS, budget);
+    json::update(&[
+        ("diff_ns_per_step", diff),
+        ("digest_ns_resident8", digest_small),
+        ("digest_ns_resident512", digest_large),
+        ("digest_rescan_ns_resident512", rescan_large),
+        ("campaign_steps_per_sec_jobs1", jobs1),
+        (
+            // Key carries the worker count so trajectories stay comparable.
+            "campaign_steps_per_sec_jobs4",
+            jobsn,
+        ),
+    ]);
+}

@@ -1,0 +1,77 @@
+//! Shared bench-result emitter: a flat JSON object of metric name to
+//! number, merged across bench binaries so `BENCH_arch.json` tracks the
+//! perf trajectory from PR to PR.
+//!
+//! The format is deliberately minimal (the environment is offline, no
+//! serde): one top-level object, string keys, numeric values, written
+//! sorted. `update` re-reads the existing file so the `step` and `diff`
+//! benches — separate processes — compose into one document.
+//!
+//! * Output path: `BENCH_arch.json` at the workspace root, overridable
+//!   with `TF_BENCH_JSON`.
+//! * Smoke mode: set `TF_BENCH_SMOKE=1` to make the benches run a few
+//!   iterations only — CI uses this to assert the harness completes and
+//!   emits valid JSON without burning minutes on real measurement.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// Where the merged bench JSON lives.
+pub fn path() -> PathBuf {
+    match std::env::var("TF_BENCH_JSON") {
+        Ok(custom) if !custom.is_empty() => PathBuf::from(custom),
+        _ => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_arch.json"),
+    }
+}
+
+/// True when CI asked for the quick smoke run.
+pub fn smoke() -> bool {
+    std::env::var("TF_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Parse the flat `"key": number` pairs out of a previous emission.
+/// Anything unparsable is dropped (and rewritten on the next update).
+fn parse(text: &str) -> BTreeMap<String, f64> {
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        let Some((key_part, value_part)) = line.split_once(':') else {
+            continue;
+        };
+        let key = key_part.trim().trim_matches('"');
+        if key.is_empty() {
+            continue;
+        }
+        let value = value_part.trim().trim_end_matches(',');
+        if let Ok(value) = value.parse::<f64>() {
+            map.insert(key.to_string(), value);
+        }
+    }
+    map
+}
+
+/// Merge `entries` into the JSON document, overwriting same-named keys
+/// and preserving the rest.
+pub fn update(entries: &[(&str, f64)]) {
+    let path = path();
+    let mut map = std::fs::read_to_string(&path)
+        .map(|text| parse(&text))
+        .unwrap_or_default();
+    for (key, value) in entries {
+        map.insert((*key).to_string(), *value);
+    }
+    let mut out = String::from("{\n");
+    let mut first = true;
+    for (key, value) in &map {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!("  \"{key}\": {value:.3}"));
+    }
+    out.push_str("\n}\n");
+    if let Err(error) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write {}: {error}", path.display());
+    } else {
+        println!("bench json updated: {}", path.display());
+    }
+}

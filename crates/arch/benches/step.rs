@@ -11,7 +11,14 @@
 //! build environment) but keeps its shape: a warm-up pass, `SAMPLES`
 //! timed samples, and the median reported alongside min/max so a single
 //! scheduler hiccup cannot move the headline number. Run with
-//! `cargo bench -p tf_arch`; CI compiles it via `cargo bench --no-run`.
+//! `cargo bench -p tf_arch`; CI compiles it via `cargo bench --no-run`
+//! and executes it in smoke mode (`TF_BENCH_SMOKE=1`, a few iterations).
+//!
+//! Results are also appended to the machine-readable `BENCH_arch.json`
+//! at the workspace root (see `benches/json.rs`) so the perf trajectory
+//! is tracked across PRs.
+
+mod json;
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -58,7 +65,8 @@ fn chaos_program(len: usize) -> Vec<Instruction> {
 }
 
 /// Run `workload` once per sample and report median/min/max ns per step.
-fn bench(name: &str, program: &[Instruction], max_steps: u64) {
+/// Returns the median for the JSON emission.
+fn bench(name: &str, program: &[Instruction], max_steps: u64, samples: usize) -> f64 {
     let mut hart = Hart::new(MEM_SIZE);
     let mut sample = || -> (Duration, u64) {
         hart.reset();
@@ -75,29 +83,38 @@ fn bench(name: &str, program: &[Instruction], max_steps: u64) {
             .expect("mcycle exists");
         (elapsed, steps)
     };
-    for _ in 0..WARMUP {
+    for _ in 0..WARMUP.min(samples) {
         sample();
     }
-    let mut per_step: Vec<f64> = (0..SAMPLES)
+    let mut per_step: Vec<f64> = (0..samples)
         .map(|_| {
             let (elapsed, steps) = sample();
             elapsed.as_nanos() as f64 / steps as f64
         })
         .collect();
     per_step.sort_by(f64::total_cmp);
-    let median = per_step[SAMPLES / 2];
+    let median = per_step[samples / 2];
     println!(
-        "{name:<8} {median:8.1} ns/step  ({:.1} Msteps/s; min {:.1}, max {:.1} over {SAMPLES} samples)",
+        "{name:<8} {median:8.1} ns/step  ({:.1} Msteps/s; min {:.1}, max {:.1} over {samples} samples)",
         1000.0 / median,
         per_step[0],
-        per_step[SAMPLES - 1],
+        per_step[samples - 1],
     );
+    median
 }
 
 fn main() {
     // `cargo bench` passes `--bench` (and test-filter args); none apply
     // to this hand-rolled harness.
+    let smoke = json::smoke();
+    let samples = if smoke { 1 } else { SAMPLES };
+    let (fib_steps, chaos_steps) = if smoke {
+        (5_000, 5_000)
+    } else {
+        (200_000, 100_000)
+    };
     println!("tf_arch interpreter throughput (Hart::run over Hart::step)");
-    bench("fib", &fib_program(5), 200_000);
-    bench("chaos", &chaos_program(4_096), 100_000);
+    let fib = bench("fib", &fib_program(5), fib_steps, samples);
+    let chaos = bench("chaos", &chaos_program(4_096), chaos_steps, samples);
+    json::update(&[("fib_ns_per_step", fib), ("chaos_ns_per_step", chaos)]);
 }

@@ -119,15 +119,15 @@ impl Hart {
     ///
     /// Returns the [`Trap`] a fetch of the offending word would raise:
     /// [`Trap::StoreFault`] when the program does not fit in memory, and
-    /// [`Trap::IllegalInstruction`] (with a placeholder `word` of zero)
-    /// in the type-invariant-excluded case that an instruction fails to
-    /// encode.
+    /// [`Trap::IllegalInstruction`] carrying the best-effort encoding
+    /// ([`Instruction::encode_lossy`]) of the offending instruction in
+    /// the type-invariant-excluded case that it fails to encode.
     pub fn load_program(&mut self, base: u64, program: &[Instruction]) -> Result<(), Trap> {
         for (i, insn) in program.iter().enumerate() {
             let addr = base + 4 * i as u64;
-            let word = insn
-                .encode()
-                .map_err(|_| Trap::IllegalInstruction { word: 0 })?;
+            let word = insn.encode().map_err(|_| Trap::IllegalInstruction {
+                word: insn.encode_lossy(),
+            })?;
             self.mem
                 .store_u32(addr, word)
                 .ok_or(Trap::StoreFault { addr })?;
@@ -151,12 +151,12 @@ impl Hart {
     /// and `mstatus` are updated and `pc` points at the handler
     /// (`mtvec.base`). Never panics.
     pub fn step(&mut self) -> StepOutcome {
-        self.state.csrs_mut().bump_cycle();
+        self.state.bump_cycle();
         let pc = self.state.pc();
         let mut word = None;
         let outcome = match self.execute_at(pc, &mut word) {
             Ok(insn) => {
-                self.state.csrs_mut().bump_instret();
+                self.state.bump_instret();
                 StepOutcome::Retired(insn)
             }
             Err(trap) => {

@@ -6,13 +6,33 @@
 //! against the configured size — the hart turns a `None` into the matching
 //! access-fault [`Trap`](crate::Trap) — while alignment policy lives in the
 //! hart, because the trap cause depends on the instruction, not the memory.
+//!
+//! [`Memory::digest`] is incremental: every write marks its pages dirty,
+//! and a digest re-hashes only the dirty pages before folding cached
+//! per-page hashes, so the per-step cost of lockstep differential
+//! comparison is proportional to the bytes written since the previous
+//! digest, not to the resident footprint.
 
-use std::collections::BTreeMap;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::digest::Fnv;
 
 /// Bytes per backing page.
 pub const PAGE_SIZE: u64 = 4096;
+
+/// Digest bookkeeping: cached per-page content hashes plus the set of
+/// pages written since they were last hashed.
+///
+/// An entry in `page_hashes` exists exactly for the resident pages whose
+/// contents are non-zero (as of the last [`Memory::digest`] call), which
+/// keeps the zero-page-equivalence semantics: an all-zero dirtied page
+/// digests like an untouched one.
+#[derive(Debug, Clone, Default)]
+struct DigestCache {
+    page_hashes: BTreeMap<u64, u64>,
+    dirty: BTreeSet<u64>,
+}
 
 /// Sparse paged byte-addressable memory of a configurable size.
 ///
@@ -21,6 +41,10 @@ pub const PAGE_SIZE: u64 = 4096;
 pub struct Memory {
     pages: BTreeMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
     size: u64,
+    // Interior mutability keeps `digest(&self)` on the `Dut` contract
+    // while letting it refresh the cache; never borrowed across a call
+    // boundary, so the RefCell cannot observably panic.
+    cache: RefCell<DigestCache>,
 }
 
 impl Memory {
@@ -30,6 +54,7 @@ impl Memory {
         Memory {
             pages: BTreeMap::new(),
             size,
+            cache: RefCell::new(DigestCache::default()),
         }
     }
 
@@ -88,6 +113,10 @@ impl Memory {
         if !self.contains(addr, N as u64) {
             return None;
         }
+        if N == 0 {
+            return Some(());
+        }
+        self.mark_dirty(addr, N as u64);
         let offset = (addr % PAGE_SIZE) as usize;
         if offset + N <= PAGE_SIZE as usize {
             self.page_mut(addr / PAGE_SIZE)[offset..offset + N].copy_from_slice(&bytes);
@@ -154,12 +183,69 @@ impl Memory {
         self.pages.len()
     }
 
+    /// Record that a `len`-byte in-bounds write starting at `addr` is
+    /// about to land, so [`Memory::digest`] re-hashes only those pages.
+    fn mark_dirty(&mut self, addr: u64, len: u64) {
+        let dirty = &mut self.cache.get_mut().dirty;
+        let first = addr / PAGE_SIZE;
+        let last = (addr + (len - 1)) / PAGE_SIZE;
+        for page in first..=last {
+            dirty.insert(page);
+        }
+    }
+
+    /// The FNV-1a content hash of one page.
+    fn page_hash(page: &[u8; PAGE_SIZE as usize]) -> u64 {
+        let mut fnv = Fnv::new();
+        fnv.write_bytes(&page[..]);
+        fnv.finish()
+    }
+
     /// Deterministic FNV-1a digest over every dirtied page (index and
-    /// contents). Untouched pages read as zero and an all-zero dirtied page
-    /// hashes like an untouched one, so logically equal memories digest
-    /// equally.
+    /// content hash, folded in ascending page order). Untouched pages read
+    /// as zero and an all-zero dirtied page hashes like an untouched one,
+    /// so logically equal memories digest equally.
+    ///
+    /// The digest is incremental: only pages written since the previous
+    /// call are re-hashed; the rest fold in from the per-page cache. In
+    /// debug builds every result is checked against the full-rescan
+    /// oracle [`Memory::digest_from_scratch`].
     #[must_use]
     pub fn digest(&self) -> u64 {
+        let cache = &mut *self.cache.borrow_mut();
+        for index in std::mem::take(&mut cache.dirty) {
+            match self.pages.get(&index) {
+                Some(page) if page.iter().any(|&b| b != 0) => {
+                    cache.page_hashes.insert(index, Self::page_hash(page));
+                }
+                // Absent or scrubbed back to all-zero: digests like an
+                // untouched page.
+                _ => {
+                    cache.page_hashes.remove(&index);
+                }
+            }
+        }
+        let mut fnv = Fnv::new();
+        fnv.write_u64(self.size);
+        for (index, hash) in &cache.page_hashes {
+            fnv.write_u64(*index);
+            fnv.write_u64(*hash);
+        }
+        let digest = fnv.finish();
+        debug_assert_eq!(
+            digest,
+            self.digest_from_scratch(),
+            "incremental digest diverged from the full-rescan oracle"
+        );
+        digest
+    }
+
+    /// The digest [`Memory::digest`] would return, recomputed from scratch
+    /// by rescanning every resident page — the correctness oracle for the
+    /// incremental path. O(resident memory); use only in tests and
+    /// debug assertions.
+    #[must_use]
+    pub fn digest_from_scratch(&self) -> u64 {
         let mut fnv = Fnv::new();
         fnv.write_u64(self.size);
         for (index, page) in &self.pages {
@@ -167,7 +253,7 @@ impl Memory {
                 continue;
             }
             fnv.write_u64(*index);
-            fnv.write_bytes(&page[..]);
+            fnv.write_u64(Self::page_hash(page));
         }
         fnv.finish()
     }
@@ -216,6 +302,52 @@ mod tests {
         mem.store_u64(addr, 0x0102_0304_0506_0708).unwrap();
         assert_eq!(mem.load_u64(addr), Some(0x0102_0304_0506_0708));
         assert_eq!(mem.resident_pages(), 2);
+    }
+
+    #[test]
+    fn incremental_digest_matches_full_rescan() {
+        let mut mem = Memory::new(1 << 20);
+        mem.store_u64(0x10, 0xAAAA).unwrap();
+        assert_eq!(mem.digest(), mem.digest_from_scratch());
+        // Writes after a digest re-dirty their pages.
+        mem.store_u64(2 * PAGE_SIZE + 8, 0xBBBB).unwrap();
+        assert_eq!(mem.digest(), mem.digest_from_scratch());
+        // A clone carries the cache along and stays consistent.
+        let mut cloned = mem.clone();
+        assert_eq!(cloned.digest(), mem.digest());
+        cloned.store_u8(0x10, 0).unwrap();
+        assert_eq!(cloned.digest(), cloned.digest_from_scratch());
+        assert_ne!(cloned.digest(), mem.digest());
+        // Scrubbing a page back to all-zero digests like untouched.
+        for offset in (0..PAGE_SIZE).step_by(8) {
+            cloned.store_u64(2 * PAGE_SIZE + offset, 0).unwrap();
+        }
+        assert_eq!(cloned.digest(), cloned.digest_from_scratch());
+        let mut fresh = Memory::new(1 << 20);
+        fresh.store_u64(0x10, 0xAAAA).unwrap();
+        fresh.store_u8(0x10, 0).unwrap();
+        assert_eq!(cloned.digest(), fresh.digest(), "scrubbed page vanishes");
+    }
+
+    #[test]
+    fn multi_page_writes_dirty_every_touched_page() {
+        // A single write spanning three pages must refresh the cached
+        // hash of the *middle* page too, not only first and last.
+        let mut mem = Memory::new(1 << 20);
+        mem.write::<{ 2 * PAGE_SIZE as usize + 16 }>(
+            PAGE_SIZE - 8,
+            [0xA5; 2 * PAGE_SIZE as usize + 16],
+        )
+        .unwrap();
+        assert_eq!(mem.resident_pages(), 4);
+        assert_eq!(mem.digest(), mem.digest_from_scratch());
+        // Overwrite again (pages already cached) and re-check.
+        mem.write::<{ 2 * PAGE_SIZE as usize + 16 }>(
+            PAGE_SIZE - 8,
+            [0x3C; 2 * PAGE_SIZE as usize + 16],
+        )
+        .unwrap();
+        assert_eq!(mem.digest(), mem.digest_from_scratch());
     }
 
     #[test]

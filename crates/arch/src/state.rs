@@ -1,5 +1,7 @@
 //! Architectural state: program counter, register files and CSRs.
 
+use std::cell::Cell;
+
 use tf_riscv::csr::{self, mi, mstatus, mtvec, CsrAddr};
 use tf_riscv::{Fpr, Gpr};
 
@@ -180,13 +182,29 @@ impl CsrFile {
 }
 
 /// The complete architectural register state of one hart.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ArchState {
     pc: u64,
     gprs: [u64; 32],
     fprs: [u64; 32],
     csrs: CsrFile,
+    // Dirty-flag digest cache: `None` after any mutation, `Some` once
+    // [`ArchState::digest`] has recomputed. `Cell` keeps `digest(&self)`
+    // on the `Dut` contract.
+    digest_cache: Cell<Option<u64>>,
 }
+
+impl PartialEq for ArchState {
+    fn eq(&self, other: &Self) -> bool {
+        // The digest cache is bookkeeping, not architectural state.
+        self.pc == other.pc
+            && self.gprs == other.gprs
+            && self.fprs == other.fprs
+            && self.csrs == other.csrs
+    }
+}
+
+impl Eq for ArchState {}
 
 impl Default for ArchState {
     fn default() -> Self {
@@ -204,6 +222,7 @@ impl ArchState {
             gprs: [0; 32],
             fprs: [0; 32],
             csrs: CsrFile::new(),
+            digest_cache: Cell::new(None),
         }
     }
 
@@ -216,6 +235,7 @@ impl ArchState {
     /// Set the program counter.
     pub fn set_pc(&mut self, pc: u64) {
         self.pc = pc;
+        self.digest_cache.set(None);
     }
 
     /// Read an integer register; `x0` always reads zero.
@@ -228,6 +248,7 @@ impl ArchState {
     pub fn set_x(&mut self, reg: Gpr, value: u64) {
         if !reg.is_zero() {
             self.gprs[usize::from(reg.index())] = value;
+            self.digest_cache.set(None);
         }
     }
 
@@ -241,6 +262,7 @@ impl ArchState {
     pub fn set_f_bits(&mut self, reg: Fpr, bits: u64) {
         self.fprs[usize::from(reg.index())] = bits;
         self.csrs.set_fp_dirty();
+        self.digest_cache.set(None);
     }
 
     /// Read an FP register as a double-precision value.
@@ -278,17 +300,53 @@ impl ArchState {
         &self.csrs
     }
 
-    /// The CSR file, mutably.
+    /// The CSR file, mutably. Conservatively invalidates the cached
+    /// digest: the caller may mutate any CSR through the returned
+    /// reference.
     pub fn csrs_mut(&mut self) -> &mut CsrFile {
+        self.digest_cache.set(None);
         &mut self.csrs
+    }
+
+    /// Advance the cycle counter without invalidating the cached digest —
+    /// the free-running counters are deliberately excluded from
+    /// [`ArchState::digest`], so bumping them cannot change it.
+    pub fn bump_cycle(&mut self) {
+        self.csrs.bump_cycle();
+    }
+
+    /// Advance the retired-instruction counter; like
+    /// [`ArchState::bump_cycle`], digest-neutral by construction.
+    pub fn bump_instret(&mut self) {
+        self.csrs.bump_instret();
     }
 
     /// Deterministic FNV-1a digest of the complete register state: `pc`,
     /// both register files and every CSR except the free-running counters
     /// (`mcycle`/`minstret`), which differ between equal executions that
     /// merely idled differently.
+    ///
+    /// The result is cached behind a dirty flag: repeated calls with no
+    /// intervening mutation return the cached value without re-hashing.
     #[must_use]
     pub fn digest(&self) -> u64 {
+        if let Some(cached) = self.digest_cache.get() {
+            debug_assert_eq!(
+                cached,
+                self.digest_uncached(),
+                "cached register digest diverged from recomputation"
+            );
+            return cached;
+        }
+        let digest = self.digest_uncached();
+        self.digest_cache.set(Some(digest));
+        digest
+    }
+
+    /// The digest [`ArchState::digest`] would return, always recomputed —
+    /// the correctness oracle for the cached path.
+    #[must_use]
+    pub fn digest_uncached(&self) -> u64 {
         let mut fnv = Fnv::new();
         fnv.write_u64(self.pc);
         for value in self.gprs.iter().chain(self.fprs.iter()) {
@@ -395,6 +453,35 @@ mod tests {
         assert_eq!(a.digest(), b.digest());
         a.set_x(x(1), 1);
         assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn cached_digest_tracks_every_mutation_path() {
+        let mut s = ArchState::new();
+        let initial = s.digest();
+        assert_eq!(s.digest(), initial, "cached repeat");
+        s.set_pc(4);
+        assert_ne!(s.digest(), initial, "set_pc invalidates");
+        let after_pc = s.digest();
+        s.set_x(x(3), 9);
+        assert_ne!(s.digest(), after_pc, "set_x invalidates");
+        let after_x = s.digest();
+        s.set_f_bits(f(3), 9);
+        assert_ne!(s.digest(), after_x, "set_f_bits invalidates");
+        let after_f = s.digest();
+        s.csrs_mut().write(csr::MTVEC, 0x1000).unwrap();
+        assert_ne!(s.digest(), after_f, "csrs_mut invalidates");
+        // Counter bumps are digest-neutral and must not spoil the cache.
+        let before_bump = s.digest();
+        s.bump_cycle();
+        s.bump_instret();
+        assert_eq!(s.digest(), before_bump);
+        assert_eq!(s.digest(), s.digest_uncached());
+        // A clone (cache included) and an equality check stay honest.
+        let t = s.clone();
+        assert_eq!(t.digest(), s.digest());
+        assert_eq!(t, s);
+        assert_eq!(s.digest(), s.digest_uncached());
     }
 
     #[test]

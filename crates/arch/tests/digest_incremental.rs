@@ -1,0 +1,180 @@
+//! Property test: the incremental digests always equal the from-scratch
+//! recomputation (the PR-2 oracle).
+//!
+//! [`Memory::digest`] caches per-page hashes behind a dirty set and
+//! [`ArchState::digest`] caches behind a dirty flag; this suite hammers
+//! both with randomized sequences of stores, loads, `Clone`s and resets
+//! — including all-zero-page scrubs and digests taken from clones that
+//! inherited a warm cache — and asserts the cached results never drift
+//! from `digest_from_scratch` / `digest_uncached`.
+
+use tf_arch::{ArchState, Hart, Memory, PAGE_SIZE};
+use tf_riscv::csr;
+use tf_riscv::{Fpr, Gpr, Instruction, InstructionLibrary, LibraryConfig, Opcode};
+
+/// Deterministic splitmix64, local to the test (the crate under test must
+/// not supply the randomness that checks it).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+const MEM_SIZE: u64 = 8 * PAGE_SIZE;
+
+fn check_memory(mem: &Memory, what: &str) {
+    assert_eq!(
+        mem.digest(),
+        mem.digest_from_scratch(),
+        "incremental memory digest diverged from the oracle: {what}"
+    );
+}
+
+fn check_state(state: &ArchState, what: &str) {
+    assert_eq!(
+        state.digest(),
+        state.digest_uncached(),
+        "cached register digest diverged from the oracle: {what}"
+    );
+}
+
+#[test]
+fn memory_digest_survives_random_store_load_clone_reset_sequences() {
+    let mut rng = Rng(0xD1CE_57A7);
+    let mut mem = Memory::new(MEM_SIZE);
+    let mut clones: Vec<Memory> = Vec::new();
+    for op in 0..4_000 {
+        match rng.below(16) {
+            // Stores of every width, clustered so pages get revisited.
+            0..=5 => {
+                let addr = rng.below(MEM_SIZE - 8);
+                let value = rng.next();
+                match rng.below(4) {
+                    0 => mem.store_u8(addr, value as u8).unwrap(),
+                    1 => mem.store_u16(addr & !1, value as u16).unwrap(),
+                    2 => mem.store_u32(addr & !3, value as u32).unwrap(),
+                    _ => mem.store_u64(addr & !7, value).unwrap(),
+                }
+            }
+            // Page-crossing write.
+            6 => {
+                let page = rng.below(MEM_SIZE / PAGE_SIZE - 1);
+                let addr = page * PAGE_SIZE + PAGE_SIZE - 3;
+                mem.store_u64(addr, rng.next()).unwrap();
+            }
+            // Scrub a whole page back to zero (the all-zero-page case).
+            7 => {
+                let page = rng.below(MEM_SIZE / PAGE_SIZE);
+                for offset in (0..PAGE_SIZE).step_by(8) {
+                    mem.store_u64(page * PAGE_SIZE + offset, 0).unwrap();
+                }
+            }
+            // Out-of-bounds writes are rejected and must not dirty state.
+            8 => assert!(mem.store_u64(MEM_SIZE - 1, rng.next()).is_none()),
+            // Loads never affect the digest.
+            9 | 10 => {
+                let _ = mem.load_u64(rng.below(MEM_SIZE) & !7);
+            }
+            // Clone (cache travels along); mutate the clone later.
+            11 => clones.push(mem.clone()),
+            // Reset: a fresh memory digests like the empty baseline.
+            12 if op % 512 == 0 => {
+                mem = Memory::new(MEM_SIZE);
+                check_memory(&mem, "after reset");
+            }
+            // Interleave digests so the cache is warm for later ops.
+            _ => check_memory(&mem, "interleaved"),
+        }
+        if op % 64 == 0 {
+            check_memory(&mem, "periodic");
+        }
+    }
+    check_memory(&mem, "final");
+    for (i, mut cloned) in clones.into_iter().enumerate() {
+        check_memory(&cloned, "clone with inherited cache");
+        cloned
+            .store_u64(rng.below(MEM_SIZE) & !7, rng.next())
+            .unwrap();
+        check_memory(&cloned, "clone after divergent write");
+        assert!((i as u64) < 4_000);
+    }
+}
+
+#[test]
+fn arch_state_digest_survives_random_mutation_sequences() {
+    let mut rng = Rng(0x5EED_FACE);
+    let mut state = ArchState::new();
+    let mut clones: Vec<ArchState> = Vec::new();
+    for op in 0..4_000 {
+        match rng.below(12) {
+            0..=3 => {
+                let reg = Gpr::new(rng.below(32) as u8).unwrap();
+                state.set_x(reg, rng.next());
+            }
+            4 | 5 => {
+                let reg = Fpr::new(rng.below(32) as u8).unwrap();
+                state.set_f_bits(reg, rng.next());
+            }
+            6 => state.set_pc(rng.next() & !3),
+            7 => {
+                let _ = state.csrs_mut().write(csr::MTVEC, rng.next());
+            }
+            8 => state.csrs_mut().accrue_fflags(rng.below(32)),
+            // Counter bumps are digest-neutral on both paths: the direct
+            // cache-preserving one and the conservative csrs_mut one.
+            9 => {
+                state.bump_cycle();
+                state.bump_instret();
+                state.csrs_mut().bump_cycle();
+            }
+            10 => clones.push(state.clone()),
+            _ => check_state(&state, "interleaved"),
+        }
+        if op % 64 == 0 {
+            check_state(&state, "periodic");
+        }
+        if op % 1_024 == 0 {
+            state = ArchState::new();
+            check_state(&state, "after reset");
+        }
+    }
+    check_state(&state, "final");
+    for mut cloned in clones {
+        check_state(&cloned, "clone with inherited cache");
+        cloned.set_x(Gpr::new(1).unwrap(), rng.next());
+        check_state(&cloned, "clone after divergent write");
+    }
+}
+
+#[test]
+fn hart_digest_composes_the_two_cached_digests() {
+    // Drive a real random program through the hart, then check that the
+    // composite digest equals the composition of the two oracles.
+    let mut library = InstructionLibrary::new(LibraryConfig::all(), 0xBEEF);
+    let mut program = library.sample_program(256).expect("full library");
+    program.push(Instruction::system(Opcode::Ebreak));
+    let mut hart = Hart::new(1 << 20);
+    hart.load_program(0, &program).unwrap();
+    for _ in 0..512 {
+        hart.step();
+        let composite = hart.digest();
+        let mut fnv = tf_arch::digest::Fnv::new();
+        fnv.write_u64(hart.state().digest_uncached());
+        fnv.write_u64(hart.mem().digest_from_scratch());
+        assert_eq!(composite, fnv.finish(), "composite digest drifted");
+    }
+    // Reset drops both caches with the rest of the state.
+    let baseline = Hart::new(1 << 20).digest();
+    hart.reset();
+    assert_eq!(hart.digest(), baseline);
+}

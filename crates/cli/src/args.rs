@@ -13,6 +13,10 @@ OPTIONS:
     --seed <N>        campaign seed (default 0)
     --steps <M>       generated-instruction budget (default 10000)
     --len <L>         instructions per program, incl. ebreak (default 32)
+    --jobs <J>        worker threads; the budget is sharded across
+                      seed-disjoint campaigns and the reports merged
+                      (default 1, which is bit-identical to the
+                      single-threaded campaign)
     --mutant <ID>     fuzz a known-buggy DUT: b2 | imm | fflags
                       (default: the golden reference hart)
     --expect <WHAT>   exit non-zero unless the campaign reported
@@ -46,6 +50,8 @@ pub struct FuzzArgs {
     pub steps: u64,
     /// Program length.
     pub len: usize,
+    /// Worker threads to shard the budget across.
+    pub jobs: usize,
     /// Bug scenario to inject into the DUT, if any.
     pub mutant: Option<BugScenario>,
     /// Required campaign outcome, if any.
@@ -60,6 +66,7 @@ impl Default for FuzzArgs {
             seed: 0,
             steps: 10_000,
             len: 32,
+            jobs: 1,
             mutant: None,
             expect: None,
             help: false,
@@ -94,6 +101,12 @@ impl FuzzArgs {
                     args.len = parse_int(&value("--len")?, "--len")? as usize;
                     if args.len == 0 {
                         return Err("`--len` must be positive".into());
+                    }
+                }
+                "--jobs" => {
+                    args.jobs = parse_int(&value("--jobs")?, "--jobs")? as usize;
+                    if args.jobs == 0 {
+                        return Err("`--jobs` must be positive".into());
                     }
                 }
                 "--mutant" => {
@@ -149,6 +162,8 @@ mod tests {
             "1000",
             "--len",
             "16",
+            "--jobs",
+            "4",
             "--mutant",
             "b2",
             "--expect",
@@ -158,6 +173,7 @@ mod tests {
         assert_eq!(args.seed, 7);
         assert_eq!(args.steps, 1000);
         assert_eq!(args.len, 16);
+        assert_eq!(args.jobs, 4);
         assert_eq!(args.mutant, Some(BugScenario::B2ReservedRounding));
         assert_eq!(args.expect, Some(Expectation::Divergence));
     }
@@ -183,6 +199,7 @@ mod tests {
         assert!(parse(&["--seed"]).unwrap_err().contains("requires a value"));
         assert!(parse(&["--steps", "x"]).unwrap_err().contains("integer"));
         assert!(parse(&["--steps", "0"]).unwrap_err().contains("positive"));
+        assert!(parse(&["--jobs", "0"]).unwrap_err().contains("positive"));
         assert!(parse(&["--frobnicate"])
             .unwrap_err()
             .contains("unknown flag"));

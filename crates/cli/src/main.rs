@@ -1,13 +1,16 @@
 //! `tf-cli` — command-line driver for TurboFuzz fuzzing campaigns.
 //!
-//! The binary is a thin shell over [`tf_fuzz::Campaign`]: it parses a
+//! The binary is a thin shell over [`tf_fuzz::run_sharded`]: it parses a
 //! handful of flags (hand-rolled — the container carries no argument-
-//! parsing dependency), builds the campaign, points it at the requested
-//! device under test (the golden hart, or a [`tf_arch::MutantHart`] with
-//! a planted bug scenario) and prints the [`tf_fuzz::CampaignReport`].
+//! parsing dependency), shards the instruction budget across `--jobs`
+//! worker campaigns pointed at the requested device under test (the
+//! golden hart, or a [`tf_arch::MutantHart`] with a planted bug
+//! scenario) and prints the merged [`tf_fuzz::ShardedReport`]. With the
+//! default `--jobs 1` the campaign portion of the output is bit-
+//! identical to the single-threaded [`tf_fuzz::Campaign`].
 //!
 //! ```text
-//! tf-cli fuzz --seed 7 --steps 10000 --mutant b2 --expect divergence
+//! tf-cli fuzz --seed 7 --steps 10000 --jobs 4 --mutant b2 --expect divergence
 //! ```
 //!
 //! `--expect divergence|clean` turns the campaign outcome into the exit
@@ -15,8 +18,8 @@
 
 use std::process::ExitCode;
 
-use tf_arch::{Dut, Hart, MutantHart};
-use tf_fuzz::{Campaign, CampaignConfig};
+use tf_arch::{Hart, MutantHart};
+use tf_fuzz::{run_sharded, CampaignConfig, ShardedReport};
 
 mod args;
 
@@ -57,16 +60,17 @@ fn run_fuzz(args: &FuzzArgs) -> ExitCode {
         ..CampaignConfig::default()
     };
     let mem_size = config.mem_size;
-    let mut campaign = Campaign::new(config);
-    let mut dut: Box<dyn Dut> = match args.mutant {
-        None => Box::new(Hart::new(mem_size)),
-        Some(scenario) => Box::new(MutantHart::new(mem_size, scenario)),
-    };
     if let Some(scenario) = args.mutant {
         println!("injected bug scenario — {scenario}");
     }
-    let report = campaign.run(dut.as_mut());
-    println!("{report}");
+    let sharded: ShardedReport = match args.mutant {
+        None => run_sharded(&config, args.jobs, |_| Hart::new(mem_size)),
+        Some(scenario) => run_sharded(&config, args.jobs, move |_| {
+            MutantHart::new(mem_size, scenario)
+        }),
+    };
+    println!("{sharded}");
+    let report = &sharded.merged;
     match args.expect {
         None => ExitCode::SUCCESS,
         Some(Expectation::Divergence) if !report.is_clean() => ExitCode::SUCCESS,
@@ -96,6 +100,25 @@ mod tests {
         let args = FuzzArgs {
             seed: 1,
             steps: 1_000,
+            mutant: Some(BugScenario::B2ReservedRounding),
+            expect: Some(Expectation::Divergence),
+            ..FuzzArgs::default()
+        };
+        assert_eq!(run_fuzz(&args), ExitCode::SUCCESS);
+        let args = FuzzArgs {
+            mutant: None,
+            expect: Some(Expectation::Clean),
+            ..args
+        };
+        assert_eq!(run_fuzz(&args), ExitCode::SUCCESS);
+    }
+
+    #[test]
+    fn sharded_campaigns_drive_the_same_gates() {
+        let args = FuzzArgs {
+            seed: 1,
+            steps: 4_000,
+            jobs: 4,
             mutant: Some(BugScenario::B2ReservedRounding),
             expect: Some(Expectation::Divergence),
             ..FuzzArgs::default()

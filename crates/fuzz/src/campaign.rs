@@ -9,6 +9,8 @@
 //! of generated instructions is spent, and the whole campaign is a pure
 //! function of its seed.
 
+use std::collections::HashSet;
+
 use tf_arch::{Dut, Hart, RunExit};
 use tf_riscv::{InstructionLibrary, LibraryConfig};
 
@@ -58,7 +60,7 @@ impl Default for CampaignConfig {
 }
 
 /// What a finished campaign observed.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CampaignReport {
     /// Name of the device under test.
     pub dut: String,
@@ -76,6 +78,9 @@ pub struct CampaignReport {
     pub out_of_gas_exits: u64,
     /// Distinct execution-trace digests observed.
     pub unique_traces: usize,
+    /// Distinct trap-cause sets observed (the coarse secondary coverage
+    /// key).
+    pub unique_trap_sets: usize,
     /// Corpus entries saved (programs that produced new coverage).
     pub corpus_size: usize,
     /// Total divergent runs observed.
@@ -90,6 +95,56 @@ impl CampaignReport {
     #[must_use]
     pub fn is_clean(&self) -> bool {
         self.divergent_runs == 0
+    }
+
+    /// Fold another report into this one: counters add, DUT names join,
+    /// and `other`'s divergences are appended unless a divergence with
+    /// the same [`Divergence::fingerprint`] is already present or was
+    /// just appended — so the incoming findings are fully deduplicated,
+    /// capped at the usual report limit (`divergent_runs` still counts
+    /// everything).
+    ///
+    /// The operation is associative, so sharded campaign workers can be
+    /// folded in any grouping. Note that `unique_traces`,
+    /// `unique_trap_sets` and `corpus_size` *add* — they are per-worker
+    /// totals; use merged [`CoverageMap`]s for the deduplicated union.
+    pub fn merge(&mut self, other: &CampaignReport) {
+        // The merged name is the stable deduplicated union of the
+        // `+`-joined DUT names, so merging stays associative even when
+        // reports against several device kinds are folded together.
+        if self.dut.is_empty() {
+            self.dut = other.dut.clone();
+        } else {
+            for name in other.dut.split('+').filter(|n| !n.is_empty()) {
+                if !self.dut.split('+').any(|known| known == name) {
+                    self.dut.push('+');
+                    self.dut.push_str(name);
+                }
+            }
+        }
+        self.programs += other.programs;
+        self.instructions_generated += other.instructions_generated;
+        self.steps_executed += other.steps_executed;
+        self.breakpoint_exits += other.breakpoint_exits;
+        self.ecall_exits += other.ecall_exits;
+        self.out_of_gas_exits += other.out_of_gas_exits;
+        self.unique_traces += other.unique_traces;
+        self.unique_trap_sets += other.unique_trap_sets;
+        self.corpus_size += other.corpus_size;
+        self.divergent_runs += other.divergent_runs;
+        let mut known: HashSet<u64> = self
+            .divergences
+            .iter()
+            .map(Divergence::fingerprint)
+            .collect();
+        for divergence in &other.divergences {
+            if self.divergences.len() >= MAX_REPORTS {
+                break;
+            }
+            if known.insert(divergence.fingerprint()) {
+                self.divergences.push(divergence.clone());
+            }
+        }
     }
 }
 
@@ -108,8 +163,8 @@ impl std::fmt::Display for CampaignReport {
         )?;
         writeln!(
             f,
-            "  coverage: {} unique traces, {} corpus seeds",
-            self.unique_traces, self.corpus_size
+            "  coverage: {} unique traces, {} trap-cause sets, {} corpus seeds",
+            self.unique_traces, self.unique_trap_sets, self.corpus_size
         )?;
         if self.is_clean() {
             write!(f, "  divergences: none")?;
@@ -157,6 +212,13 @@ impl Campaign {
         &self.config
     }
 
+    /// The coverage the campaign has accumulated so far. Sharded drivers
+    /// merge the per-worker maps into the aggregate view.
+    #[must_use]
+    pub fn coverage(&self) -> &CoverageMap {
+        &self.coverage
+    }
+
     /// Run the campaign against `dut`, differencing every program
     /// against a fresh golden [`Hart`] reference.
     pub fn run(&mut self, dut: &mut dyn Dut) -> CampaignReport {
@@ -187,6 +249,7 @@ impl Campaign {
                     steps,
                     exit,
                     trace_digest,
+                    trap_causes,
                 }) => {
                     report.steps_executed += steps;
                     match exit {
@@ -194,7 +257,11 @@ impl Campaign {
                         RunExit::EnvironmentCall { .. } => report.ecall_exits += 1,
                         RunExit::OutOfGas => report.out_of_gas_exits += 1,
                     }
-                    if self.coverage.observe(trace_digest) {
+                    // Either key earns a corpus slot: exact-trace novelty
+                    // or a never-seen combination of trap causes.
+                    let new_trace = self.coverage.observe(trace_digest);
+                    let new_traps = self.coverage.observe_trap_set(trap_causes);
+                    if new_trace || new_traps {
                         self.corpus.save(program, trace_digest);
                     }
                 }
@@ -209,6 +276,7 @@ impl Campaign {
             }
         }
         report.unique_traces = self.coverage.unique();
+        report.unique_trap_sets = self.coverage.unique_trap_sets();
         report.corpus_size = self.corpus.len();
         report
     }

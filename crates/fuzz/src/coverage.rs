@@ -6,13 +6,21 @@
 //! [`ExecutionTrace::digest`](tf_arch::ExecutionTrace::digest)). The
 //! [`CoverageMap`] is the campaign's memory of those digests; a program
 //! whose trace digest is new is interesting and earns a corpus slot.
+//!
+//! Exact-trace novelty alone makes the corpus blind to *partial*
+//! novelty, so the map also keeps a coarse secondary key: the set of
+//! trap-cause codes a run raised (as a bitmask). A program that raises a
+//! never-before-seen combination of trap causes is interesting even when
+//! its exact trace digest collides with nothing new.
 
 use std::collections::HashSet;
 
-/// Set of execution-trace digests observed so far.
-#[derive(Debug, Clone, Default)]
+/// Set of execution-trace digests (and coarse trap-cause sets) observed
+/// so far.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CoverageMap {
     seen: HashSet<u64>,
+    trap_sets: HashSet<u64>,
     observations: u64,
 }
 
@@ -29,6 +37,13 @@ impl CoverageMap {
         self.seen.insert(trace_digest)
     }
 
+    /// Record the trap-cause bitmask of one run (bit `c` set iff a trap
+    /// with cause code `c` occurred). Returns `true` when this exact
+    /// combination of causes is new coverage.
+    pub fn observe_trap_set(&mut self, trap_causes: u64) -> bool {
+        self.trap_sets.insert(trap_causes)
+    }
+
     /// True when the digest has been observed before.
     #[must_use]
     pub fn contains(&self, trace_digest: u64) -> bool {
@@ -41,10 +56,25 @@ impl CoverageMap {
         self.seen.len()
     }
 
+    /// Number of distinct trap-cause sets seen.
+    #[must_use]
+    pub fn unique_trap_sets(&self) -> usize {
+        self.trap_sets.len()
+    }
+
     /// Total observations, including repeats.
     #[must_use]
     pub fn observations(&self) -> u64 {
         self.observations
+    }
+
+    /// Fold another map into this one: coverage sets union, observation
+    /// counts add. Sharded campaign workers each grow a private map;
+    /// the driver merges them into the aggregate view.
+    pub fn merge(&mut self, other: &CoverageMap) {
+        self.seen.extend(&other.seen);
+        self.trap_sets.extend(&other.trap_sets);
+        self.observations += other.observations;
     }
 }
 
@@ -62,5 +92,33 @@ mod tests {
         assert_eq!(map.observations(), 3);
         assert!(map.contains(0xAB));
         assert!(!map.contains(0xEF));
+    }
+
+    #[test]
+    fn trap_sets_are_a_separate_coarse_key() {
+        let mut map = CoverageMap::new();
+        assert!(map.observe_trap_set(0b1000));
+        assert!(!map.observe_trap_set(0b1000));
+        assert!(map.observe_trap_set(0b1100), "a superset is still new");
+        assert_eq!(map.unique_trap_sets(), 2);
+        assert_eq!(map.unique(), 0, "trap sets do not pollute trace keys");
+        assert_eq!(map.observations(), 0);
+    }
+
+    #[test]
+    fn merge_unions_coverage_and_adds_observations() {
+        let mut a = CoverageMap::new();
+        a.observe(1);
+        a.observe(2);
+        a.observe_trap_set(0b1000);
+        let mut b = CoverageMap::new();
+        b.observe(2);
+        b.observe(3);
+        b.observe_trap_set(0b1010);
+        a.merge(&b);
+        assert_eq!(a.unique(), 3);
+        assert_eq!(a.unique_trap_sets(), 2);
+        assert_eq!(a.observations(), 4);
+        assert!(a.contains(3));
     }
 }

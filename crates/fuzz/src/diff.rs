@@ -10,6 +10,7 @@
 //! which is the paper's bug-scenario localisation: not just *that* the
 //! device differs, but the exact instruction where it went wrong.
 
+use tf_arch::digest::Fnv;
 use tf_arch::{Dut, RunExit, StepOutcome, TraceEntry, Trap};
 use tf_riscv::Instruction;
 
@@ -24,6 +25,10 @@ pub enum DiffVerdict {
         exit: RunExit,
         /// Digest of the reference execution trace (coverage key).
         trace_digest: u64,
+        /// Bitmask of privileged-spec trap-cause codes the reference
+        /// raised during the run (bit `c` set iff a trap with
+        /// `mcause == c` occurred) — the coarse secondary coverage key.
+        trap_causes: u64,
     },
     /// The DUT diverged from the reference.
     Diverged(Divergence),
@@ -42,6 +47,37 @@ pub struct Divergence {
     pub reference_digest: u64,
     /// DUT architectural digest after the step.
     pub dut_digest: u64,
+}
+
+impl Divergence {
+    /// Stable fingerprint identifying the divergence *signature* rather
+    /// than the run it came from: for each side's diverging entry, the
+    /// opcode it retired or the trap cause it raised. Two workers
+    /// tripping the same bug at different pcs, with different operand
+    /// registers or register values, fingerprint equally — which is what
+    /// merged campaign reports deduplicate on. (Deliberately coarse: the
+    /// raw instruction word is excluded because it encodes operand
+    /// fields, which would make every generated trigger look unique.)
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        fn write_entry(fnv: &mut Fnv, entry: Option<&TraceEntry>) {
+            let Some(entry) = entry else {
+                fnv.write_u64(u64::MAX);
+                return;
+            };
+            match entry.outcome {
+                StepOutcome::Retired(insn) => {
+                    fnv.write_u64(0);
+                    fnv.write_bytes(insn.opcode().mnemonic().as_bytes());
+                }
+                StepOutcome::Trapped(trap) => fnv.write_u64(1 + trap.cause().code()),
+            }
+        }
+        let mut fnv = Fnv::new();
+        write_entry(&mut fnv, self.reference.as_ref());
+        write_entry(&mut fnv, self.dut.as_ref());
+        fnv.finish()
+    }
 }
 
 fn write_entry(f: &mut std::fmt::Formatter<'_>, entry: Option<&TraceEntry>) -> std::fmt::Result {
@@ -122,6 +158,7 @@ impl DiffEngine {
 
         let mut verdict = None;
         let mut steps = 0;
+        let mut trap_causes = 0u64;
         while steps < self.max_steps {
             let ref_outcome = reference.step();
             let dut_outcome = dut.step();
@@ -131,9 +168,18 @@ impl DiffEngine {
                 verdict = Some((steps, ref_digest, dut_digest));
                 break;
             }
+            if let StepOutcome::Trapped(trap) = ref_outcome {
+                trap_causes |= 1 << (trap.cause().code() & 63);
+            }
             match ref_outcome {
                 StepOutcome::Trapped(Trap::Breakpoint { .. }) => {
-                    return Ok(self.agree(reference, dut, RunExit::Breakpoint { steps }, steps));
+                    return Ok(self.agree(
+                        reference,
+                        dut,
+                        RunExit::Breakpoint { steps },
+                        steps,
+                        trap_causes,
+                    ));
                 }
                 StepOutcome::Trapped(Trap::EnvironmentCall) => {
                     return Ok(self.agree(
@@ -141,13 +187,14 @@ impl DiffEngine {
                         dut,
                         RunExit::EnvironmentCall { steps },
                         steps,
+                        trap_causes,
                     ));
                 }
                 _ => {}
             }
         }
         match verdict {
-            None => Ok(self.agree(reference, dut, RunExit::OutOfGas, steps)),
+            None => Ok(self.agree(reference, dut, RunExit::OutOfGas, steps, trap_causes)),
             Some((step, reference_digest, dut_digest)) => {
                 let ref_entry = reference
                     .take_trace()
@@ -170,6 +217,7 @@ impl DiffEngine {
         dut: &mut dyn Dut,
         exit: RunExit,
         steps: u64,
+        trap_causes: u64,
     ) -> DiffVerdict {
         let trace_digest = reference.take_trace().map_or(0, |t| t.digest());
         dut.take_trace();
@@ -177,6 +225,7 @@ impl DiffEngine {
             steps,
             exit,
             trace_digest,
+            trap_causes,
         }
     }
 }
@@ -213,13 +262,65 @@ mod tests {
                 steps,
                 exit,
                 trace_digest,
+                trap_causes,
             } => {
                 assert_eq!(steps, 3);
                 assert_eq!(exit, RunExit::Breakpoint { steps: 3 });
                 assert_ne!(trace_digest, 0);
+                // The only trap was the terminating breakpoint (cause 3).
+                assert_eq!(trap_causes, 1 << 3);
             }
             DiffVerdict::Diverged(d) => panic!("unexpected divergence: {d}"),
         }
+    }
+
+    #[test]
+    fn fingerprints_identify_the_signature_not_the_run() {
+        // Two B2-style divergences at different pcs fingerprint equally;
+        // a different divergence signature does not.
+        let engine = DiffEngine::new(0, 100);
+        let prelude = Instruction::csr_imm(Opcode::Csrrwi, Gpr::ZERO, csr::FRM, 0b101).unwrap();
+        let fadd = Instruction::fp_r_type(Opcode::FaddS, f(1), f(2), f(3), Some(RoundingMode::Dyn))
+            .unwrap();
+        let diverge = |program: &[Instruction]| {
+            let mut reference = Hart::new(MEM);
+            let mut dut = MutantHart::new(MEM, BugScenario::B2ReservedRounding);
+            match engine.diff(&mut reference, &mut dut, program).unwrap() {
+                DiffVerdict::Diverged(d) => d,
+                DiffVerdict::Agree { .. } => panic!("expected divergence"),
+            }
+        };
+        let near = diverge(&[prelude, fadd, Instruction::system(Opcode::Ebreak)]);
+        let far = diverge(&[
+            prelude,
+            Instruction::nop(),
+            Instruction::nop(),
+            fadd,
+            Instruction::system(Opcode::Ebreak),
+        ]);
+        assert_ne!(near.reference.unwrap().pc, far.reference.unwrap().pc);
+        assert_eq!(near.fingerprint(), far.fingerprint());
+
+        // Different operand registers encode to a different word but are
+        // still the same bug signature — generated triggers must dedupe.
+        let fadd_other =
+            Instruction::fp_r_type(Opcode::FaddS, f(4), f(5), f(6), Some(RoundingMode::Dyn))
+                .unwrap();
+        assert_ne!(fadd.encode().unwrap(), fadd_other.encode().unwrap());
+        let regs = diverge(&[prelude, fadd_other, Instruction::system(Opcode::Ebreak)]);
+        assert_eq!(near.fingerprint(), regs.fingerprint());
+
+        let mut reference = Hart::new(MEM);
+        let mut dut = MutantHart::new(MEM, BugScenario::OffByOneImmediate);
+        let program = [
+            Instruction::i_type(Opcode::Addi, x(1), Gpr::ZERO, 5).unwrap(),
+            Instruction::system(Opcode::Ebreak),
+        ];
+        let DiffVerdict::Diverged(other) = engine.diff(&mut reference, &mut dut, &program).unwrap()
+        else {
+            panic!("imm mutant must diverge");
+        };
+        assert_ne!(near.fingerprint(), other.fingerprint());
     }
 
     #[test]

@@ -19,6 +19,11 @@
 //!   the first diverging [`tf_arch::TraceEntry`].
 //! * [`Campaign`] — the driver tying it all together, reproducible from a
 //!   single seed and reported through [`CampaignReport`].
+//! * [`run_sharded`] — one instruction budget split across worker threads:
+//!   every worker runs its own seed-disjoint, individually deterministic
+//!   [`Campaign`], and the per-worker reports and coverage maps are merged
+//!   (divergences deduplicated by [`Divergence::fingerprint`]) into a
+//!   [`ShardedReport`] with aggregate steps/sec.
 //!
 //! # Example
 //!
@@ -54,9 +59,11 @@ mod coverage;
 mod diff;
 mod generator;
 mod rng;
+mod shard;
 
 pub use campaign::{Campaign, CampaignConfig, CampaignReport};
 pub use corpus::{minimize, Corpus, SeedEntry};
 pub use coverage::CoverageMap;
 pub use diff::{DiffEngine, DiffVerdict, Divergence};
 pub use generator::{GeneratorConfig, ProgramGenerator};
+pub use shard::{run_sharded, shard_config, worker_seed, ShardedReport, WorkerReport};

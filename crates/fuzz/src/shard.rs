@@ -1,0 +1,229 @@
+//! Sharded campaigns: one instruction budget split across worker threads.
+//!
+//! A [`Campaign`] is seed-deterministic and self-contained, which makes
+//! parallelisation embarrassingly simple — the PreSiFuzz recipe: give
+//! every worker its own [`Campaign`] with a disjoint seed stream and a
+//! slice of the master instruction budget, run the workers on
+//! `std::thread`s, and fold the per-worker [`CampaignReport`]s and
+//! [`CoverageMap`]s back together. Each worker is *individually*
+//! deterministic — worker `i`'s result depends only on the master seed,
+//! its index and its budget slice, never on thread scheduling — so a
+//! sharded run is reproducible and worker 0 of a one-job run is
+//! bit-identical to the plain single-threaded [`Campaign`].
+
+use std::time::{Duration, Instant};
+
+use tf_arch::Dut;
+
+use crate::campaign::{Campaign, CampaignConfig, CampaignReport};
+use crate::coverage::CoverageMap;
+use crate::rng::SplitMix64;
+
+/// The seed worker `worker` runs under a master seed.
+///
+/// Worker 0 inherits the master seed itself (so `jobs = 1` reproduces
+/// the single-threaded campaign bit for bit); workers `i >= 1` take the
+/// `i`-th value of a splitmix64 stream seeded with the master seed. The
+/// mapping depends only on `(master, worker)`, not on the job count, so
+/// worker `i` explores the same programs whether the run uses 2 workers
+/// or 16.
+#[must_use]
+pub fn worker_seed(master: u64, worker: usize) -> u64 {
+    if worker == 0 {
+        return master;
+    }
+    let mut stream = SplitMix64::new(master);
+    let mut seed = 0;
+    for _ in 0..worker {
+        seed = stream.next_u64();
+    }
+    seed
+}
+
+/// The configuration worker `worker` of a `jobs`-wide run executes: the
+/// master config with the worker's seed and its slice of the instruction
+/// budget (the remainder of an uneven split goes to the lowest-indexed
+/// workers).
+#[must_use]
+pub fn shard_config(config: &CampaignConfig, jobs: usize, worker: usize) -> CampaignConfig {
+    assert!(worker < jobs, "worker index out of range");
+    let jobs = jobs as u64;
+    let base = config.instruction_budget / jobs;
+    let extra = u64::from((worker as u64) < config.instruction_budget % jobs);
+    CampaignConfig {
+        seed: worker_seed(config.seed, worker),
+        instruction_budget: base + extra,
+        ..config.clone()
+    }
+}
+
+/// What one worker of a sharded campaign produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerReport {
+    /// Worker index, `0..jobs`.
+    pub worker: usize,
+    /// The seed the worker's campaign ran under.
+    pub seed: u64,
+    /// The worker's own campaign report.
+    pub report: CampaignReport,
+}
+
+/// A finished sharded campaign: the merged view plus per-worker detail.
+#[derive(Debug, Clone)]
+pub struct ShardedReport {
+    /// All workers folded together ([`CampaignReport::merge`]), with the
+    /// coverage counters replaced by the *union* of the per-worker
+    /// coverage maps.
+    pub merged: CampaignReport,
+    /// Per-worker reports, in worker order.
+    pub workers: Vec<WorkerReport>,
+    /// The union of every worker's coverage.
+    pub coverage: CoverageMap,
+    /// Wall-clock time of the parallel section.
+    pub elapsed: Duration,
+}
+
+impl ShardedReport {
+    /// Aggregate lockstep throughput: steps executed across all workers
+    /// per wall-clock second.
+    #[must_use]
+    pub fn steps_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.merged.steps_executed as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+impl std::fmt::Display for ShardedReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", self.merged)?;
+        for worker in &self.workers {
+            writeln!(
+                f,
+                "  worker {}: seed {:#018x}  programs {}  steps {}  divergent {}",
+                worker.worker,
+                worker.seed,
+                worker.report.programs,
+                worker.report.steps_executed,
+                worker.report.divergent_runs,
+            )?;
+        }
+        write!(
+            f,
+            "  throughput: {:.0} steps/sec aggregate over {} worker(s) ({:.2} s wall)",
+            self.steps_per_sec(),
+            self.workers.len(),
+            self.elapsed.as_secs_f64(),
+        )
+    }
+}
+
+/// Run one instruction budget split across `jobs` worker threads.
+///
+/// Every worker builds its own [`Campaign`] from
+/// [`shard_config`]`(config, jobs, worker)` and its own device under
+/// test from `dut_factory(worker)`, so no state is shared between
+/// workers and the merged result is deterministic for a given
+/// `(config, jobs)` regardless of scheduling. With `jobs == 1` the
+/// merged report is bit-identical to `Campaign::new(config.clone())
+/// .run(&mut dut_factory(0))`.
+///
+/// # Panics
+///
+/// Panics when `jobs` is zero or a worker thread panics.
+pub fn run_sharded<D, F>(config: &CampaignConfig, jobs: usize, dut_factory: F) -> ShardedReport
+where
+    D: Dut,
+    F: Fn(usize) -> D + Send + Sync,
+{
+    assert!(jobs >= 1, "a sharded campaign needs at least one worker");
+    let start = Instant::now();
+    let results: Vec<(CampaignReport, CoverageMap)> = std::thread::scope(|scope| {
+        let factory = &dut_factory;
+        let handles: Vec<_> = (0..jobs)
+            .map(|worker| {
+                let worker_config = shard_config(config, jobs, worker);
+                scope.spawn(move || {
+                    let mut campaign = Campaign::new(worker_config);
+                    let mut dut = factory(worker);
+                    let report = campaign.run(&mut dut);
+                    (report, campaign.coverage().clone())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("campaign worker panicked"))
+            .collect()
+    });
+    let elapsed = start.elapsed();
+
+    let mut coverage = CoverageMap::new();
+    let mut merged = CampaignReport::default();
+    let mut workers = Vec::with_capacity(jobs);
+    for (worker, (report, worker_coverage)) in results.into_iter().enumerate() {
+        coverage.merge(&worker_coverage);
+        if jobs == 1 {
+            // One worker: the merged view is that worker's report,
+            // verbatim — including any same-fingerprint repeats it chose
+            // to record — keeping the jobs=1 bit-identity guarantee.
+            merged = report.clone();
+        } else {
+            merged.merge(&report);
+        }
+        workers.push(WorkerReport {
+            worker,
+            seed: worker_seed(config.seed, worker),
+            report,
+        });
+    }
+    // Replace the summed per-worker counters with the deduplicated union.
+    merged.unique_traces = coverage.unique();
+    merged.unique_trap_sets = coverage.unique_trap_sets();
+    ShardedReport {
+        merged,
+        workers,
+        coverage,
+        elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_seeds_are_stable_and_job_count_independent() {
+        assert_eq!(worker_seed(42, 0), 42, "worker 0 inherits the master");
+        let w1 = worker_seed(42, 1);
+        let w2 = worker_seed(42, 2);
+        assert_ne!(w1, 42);
+        assert_ne!(w1, w2);
+        // Re-derivation is stable: there is no hidden job-count input.
+        assert_eq!(worker_seed(42, 1), w1);
+        assert_eq!(worker_seed(42, 2), w2);
+    }
+
+    #[test]
+    fn shard_budgets_cover_the_master_budget_exactly() {
+        let config = CampaignConfig {
+            instruction_budget: 10_001,
+            ..CampaignConfig::default()
+        };
+        for jobs in 1..=7 {
+            let total: u64 = (0..jobs)
+                .map(|w| shard_config(&config, jobs, w).instruction_budget)
+                .sum();
+            assert_eq!(total, 10_001, "budget lost or invented at jobs={jobs}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "worker index out of range")]
+    fn shard_config_rejects_out_of_range_workers() {
+        let _ = shard_config(&CampaignConfig::default(), 2, 2);
+    }
+}

@@ -1,0 +1,169 @@
+//! Sharded-campaign integration tests: merge algebra, fingerprint
+//! deduplication, per-worker determinism and the jobs=1 identity.
+
+use tf_arch::{BugScenario, Hart, MutantHart};
+use tf_fuzz::{run_sharded, shard_config, Campaign, CampaignConfig, CampaignReport};
+
+const MEM: u64 = 1 << 16;
+
+fn config(seed: u64, budget: u64) -> CampaignConfig {
+    CampaignConfig {
+        seed,
+        instruction_budget: budget,
+        mem_size: MEM,
+        ..CampaignConfig::default()
+    }
+}
+
+/// A report with at least one divergence, from a mutant campaign of the
+/// given budget.
+fn divergent_report(seed: u64, scenario: BugScenario, budget: u64) -> CampaignReport {
+    let mut dut = MutantHart::new(MEM, scenario);
+    let report = Campaign::new(config(seed, budget)).run(&mut dut);
+    assert!(!report.is_clean(), "campaign produced no divergence");
+    report
+}
+
+#[test]
+fn merging_is_associative() {
+    let a = divergent_report(1, BugScenario::B2ReservedRounding, 2_000);
+    let b = divergent_report(2, BugScenario::OffByOneImmediate, 2_000);
+    let c = divergent_report(3, BugScenario::DroppedFflags, 3_000);
+
+    let mut left = a.clone();
+    left.merge(&b);
+    left.merge(&c);
+
+    let mut right_tail = b.clone();
+    right_tail.merge(&c);
+    let mut right = a.clone();
+    right.merge(&right_tail);
+
+    assert_eq!(left, right, "(a·b)·c != a·(b·c)");
+
+    // Merging the empty report into a is the identity; merging a into
+    // the empty report reproduces a with its findings deduplicated.
+    let mut into_a = a.clone();
+    into_a.merge(&CampaignReport::default());
+    assert_eq!(into_a, a);
+    let mut from_empty = CampaignReport::default();
+    from_empty.merge(&a);
+    assert_eq!(from_empty.divergent_runs, a.divergent_runs);
+    assert_eq!(from_empty.programs, a.programs);
+    let fingerprints = |report: &CampaignReport| {
+        let mut prints: Vec<u64> = report
+            .divergences
+            .iter()
+            .map(tf_fuzz::Divergence::fingerprint)
+            .collect();
+        prints.sort_unstable();
+        prints
+    };
+    let mut deduped = fingerprints(&a);
+    deduped.dedup();
+    assert_eq!(fingerprints(&from_empty), deduped);
+}
+
+#[test]
+fn merge_deduplicates_findings_by_fingerprint() {
+    // A small budget keeps the report under the 16-finding cap so there
+    // is room for merged-in findings.
+    let a = divergent_report(1, BugScenario::B2ReservedRounding, 600);
+    assert!(a.divergences.len() < 16, "report already at the cap");
+    let mut doubled = a.clone();
+    doubled.merge(&a);
+    assert_eq!(
+        doubled.divergences.len(),
+        a.divergences.len(),
+        "identical findings were not deduplicated"
+    );
+    assert_eq!(doubled.divergent_runs, 2 * a.divergent_runs);
+    assert_eq!(doubled.programs, 2 * a.programs);
+
+    // A different scenario's findings fingerprint differently and merge in.
+    let b = divergent_report(2, BugScenario::OffByOneImmediate, 2_000);
+    let mut combined = a.clone();
+    combined.merge(&b);
+    assert!(combined.divergences.len() > a.divergences.len());
+}
+
+#[test]
+fn jobs_one_is_bit_identical_to_the_single_threaded_campaign() {
+    let config = config(0xF00D, 2_000);
+    let mut dut = Hart::new(MEM);
+    let single = Campaign::new(config.clone()).run(&mut dut);
+    let sharded = run_sharded(&config, 1, |_| Hart::new(MEM));
+    assert_eq!(sharded.merged, single);
+    assert_eq!(sharded.workers.len(), 1);
+    assert_eq!(sharded.workers[0].report, single);
+    assert_eq!(sharded.workers[0].seed, config.seed);
+}
+
+#[test]
+fn workers_are_deterministic_regardless_of_scheduling_and_job_count() {
+    let config = config(0xBEEF, 4_000);
+    let first = run_sharded(&config, 4, |_| Hart::new(MEM));
+    let second = run_sharded(&config, 4, |_| Hart::new(MEM));
+    assert_eq!(first.merged, second.merged, "sharded run not reproducible");
+    assert_eq!(first.workers, second.workers);
+
+    // Every worker's report equals a standalone campaign run from its
+    // shard config: worker results depend only on (master seed, index,
+    // budget slice), never on what the sibling threads did.
+    for worker in &first.workers {
+        let worker_config = shard_config(&config, 4, worker.worker);
+        assert_eq!(worker.seed, worker_config.seed);
+        let mut dut = Hart::new(MEM);
+        let standalone = Campaign::new(worker_config).run(&mut dut);
+        assert_eq!(
+            worker.report, standalone,
+            "worker {} diverged from its standalone replay",
+            worker.worker
+        );
+    }
+}
+
+#[test]
+fn sharded_mutant_campaign_detects_and_deduplicates_the_bug() {
+    let config = config(7, 8_000);
+    let sharded = run_sharded(&config, 4, |_| {
+        MutantHart::new(MEM, BugScenario::B2ReservedRounding)
+    });
+    assert!(
+        !sharded.merged.is_clean(),
+        "b2 went undetected across 4 workers:\n{sharded}"
+    );
+    // Dedup holds across the merged view.
+    let mut fingerprints: Vec<u64> = sharded
+        .merged
+        .divergences
+        .iter()
+        .map(tf_fuzz::Divergence::fingerprint)
+        .collect();
+    fingerprints.sort_unstable();
+    let before = fingerprints.len();
+    fingerprints.dedup();
+    assert_eq!(
+        before,
+        fingerprints.len(),
+        "duplicate fingerprints survived"
+    );
+    // Coverage is the union, never more than the per-worker sum.
+    let summed: usize = sharded.workers.iter().map(|w| w.report.unique_traces).sum();
+    assert!(sharded.merged.unique_traces <= summed);
+    assert!(sharded.merged.unique_traces > 0);
+}
+
+#[test]
+fn sharded_reference_campaign_stays_clean() {
+    let config = config(21, 6_000);
+    let sharded = run_sharded(&config, 3, |_| Hart::new(MEM));
+    assert!(
+        sharded.merged.is_clean(),
+        "reference vs reference diverged:\n{sharded}"
+    );
+    assert!(sharded.merged.instructions_generated >= 6_000);
+    let report = sharded.to_string();
+    assert!(report.contains("worker 2:"), "{report}");
+    assert!(report.contains("steps/sec aggregate"), "{report}");
+}

@@ -633,6 +633,34 @@ impl Instruction {
     /// an internally inconsistent instruction (e.g. a missing rounding
     /// mode), which the typed constructors rule out.
     pub fn encode(&self) -> Result<u32, RiscvError> {
+        self.encode_inner(false)
+    }
+
+    /// Best-effort encoding for diagnostics: identical to
+    /// [`Instruction::encode`] for every well-formed instruction, but an
+    /// internally inconsistent one (missing rounding mode) encodes the
+    /// absent `rm` field as the dynamic mode instead of failing, so error
+    /// paths always have a concrete machine word to report.
+    #[must_use]
+    pub fn encode_lossy(&self) -> u32 {
+        match self.encode_inner(true) {
+            Ok(word) => word,
+            // Unreachable: `lossy` substitutes every fallible field. Fall
+            // back to the bare major opcode rather than panicking.
+            Err(_) => u32::from(self.opcode.encoding().opcode),
+        }
+    }
+
+    /// The funct3 field, substituting the dynamic rounding mode for a
+    /// missing one when `lossy` encoding was requested.
+    fn funct3_or_dyn(&self, lossy: bool) -> Result<u32, RiscvError> {
+        match self.funct3_bits() {
+            Err(_) if lossy => Ok(u32::from(RoundingMode::Dyn.to_bits())),
+            resolved => resolved,
+        }
+    }
+
+    fn encode_inner(&self, lossy: bool) -> Result<u32, RiscvError> {
         let e = self.opcode.encoding();
         let base = u32::from(e.opcode);
         let rd = u32::from(self.rd) << 7;
@@ -641,13 +669,13 @@ impl Instruction {
         let fixed_f7 = || u32::from(e.funct7.unwrap_or(0)) << 25;
         let imm = self.imm as u64 as u32;
         let word = match self.opcode.format() {
-            Format::R => base | rd | self.funct3_bits()? << 12 | rs1 | rs2 | fixed_f7(),
+            Format::R => base | rd | self.funct3_or_dyn(lossy)? << 12 | rs1 | rs2 | fixed_f7(),
             Format::I | Format::FpLoad => {
-                base | rd | self.funct3_bits()? << 12 | rs1 | (imm & 0xFFF) << 20
+                base | rd | self.funct3_or_dyn(lossy)? << 12 | rs1 | (imm & 0xFFF) << 20
             }
             Format::S | Format::FpStore => {
                 base | (imm & 0x1F) << 7
-                    | self.funct3_bits()? << 12
+                    | self.funct3_or_dyn(lossy)? << 12
                     | rs1
                     | rs2
                     | ((imm >> 5) & 0x7F) << 25
@@ -655,7 +683,7 @@ impl Instruction {
             Format::B => {
                 base | ((imm >> 11) & 1) << 7
                     | ((imm >> 1) & 0xF) << 8
-                    | self.funct3_bits()? << 12
+                    | self.funct3_or_dyn(lossy)? << 12
                     | rs1
                     | rs2
                     | ((imm >> 5) & 0x3F) << 25
@@ -670,16 +698,16 @@ impl Instruction {
                     | ((imm >> 20) & 1) << 31
             }
             Format::Shamt | Format::ShamtW => {
-                base | rd | self.funct3_bits()? << 12 | rs1 | (imm & 0x3F) << 20 | fixed_f7()
+                base | rd | self.funct3_or_dyn(lossy)? << 12 | rs1 | (imm & 0x3F) << 20 | fixed_f7()
             }
-            Format::Fence => base | self.funct3_bits()? << 12 | (imm & 0xFF) << 20,
+            Format::Fence => base | self.funct3_or_dyn(lossy)? << 12 | (imm & 0xFF) << 20,
             Format::System => base | u32::from(e.rs2.unwrap_or(0)) << 20,
             Format::Csr | Format::CsrImm => {
-                base | rd | self.funct3_bits()? << 12 | rs1 | (imm & 0xFFF) << 20
+                base | rd | self.funct3_or_dyn(lossy)? << 12 | rs1 | (imm & 0xFFF) << 20
             }
             Format::Amo => {
                 base | rd
-                    | self.funct3_bits()? << 12
+                    | self.funct3_or_dyn(lossy)? << 12
                     | rs1
                     | rs2
                     | u32::from(self.rl) << 25
@@ -688,16 +716,16 @@ impl Instruction {
             }
             Format::R4 => {
                 base | rd
-                    | self.funct3_bits()? << 12
+                    | self.funct3_or_dyn(lossy)? << 12
                     | rs1
                     | rs2
                     | u32::from(e.funct7.unwrap_or(0)) << 25
                     | u32::from(self.rs3) << 27
             }
-            Format::Fp => base | rd | self.funct3_bits()? << 12 | rs1 | rs2 | fixed_f7(),
+            Format::Fp => base | rd | self.funct3_or_dyn(lossy)? << 12 | rs1 | rs2 | fixed_f7(),
             Format::FpUnary => {
                 base | rd
-                    | self.funct3_bits()? << 12
+                    | self.funct3_or_dyn(lossy)? << 12
                     | rs1
                     | u32::from(e.rs2.unwrap_or(0)) << 20
                     | fixed_f7()

@@ -88,3 +88,22 @@ fn decode_is_a_partial_inverse_of_encode_on_raw_words() {
     // everything.
     assert!(decoded > 100, "only {decoded} raw words decoded");
 }
+
+#[test]
+fn encode_lossy_agrees_with_encode_for_every_well_formed_instruction() {
+    // `encode_lossy` exists for diagnostics on internally inconsistent
+    // instructions, which the typed constructors rule out — so on every
+    // constructible instruction it must be the identical encoding.
+    let mut lib = InstructionLibrary::new(LibraryConfig::all(), 0x10_55_1E);
+    for &opcode in Opcode::ALL {
+        for _ in 0..8 {
+            let insn = lib.synthesize(opcode);
+            assert_eq!(
+                insn.encode().expect("well-formed"),
+                insn.encode_lossy(),
+                "{} lossy encoding diverged",
+                opcode.mnemonic()
+            );
+        }
+    }
+}
