@@ -7,6 +7,18 @@
 //! stable across Rust versions, processes and machines; the regression
 //! test below pins the constants.
 
+/// Stability fingerprint of the digest scheme: the [`Fnv`] hash of the
+/// byte string `"turbofuzz"`.
+///
+/// Persistent artifacts that embed digests — on-disk fuzzing corpora
+/// above all — record this value in their header. A reader whose own
+/// hasher produces a different fingerprint must reject the file: its
+/// stored trace digests were minted under a different hash function and
+/// would silently mis-replay as coverage. The regression test below ties
+/// the constant to the live hasher, so any change to the FNV constants
+/// shows up as both a failing test and a changed fingerprint.
+pub const STABILITY_FINGERPRINT: u64 = 0x2450_D8E2_0861_381A;
+
 /// Incremental FNV-1a (64-bit) hasher.
 ///
 /// Chosen over `DefaultHasher` because the digest must be stable across
@@ -61,6 +73,11 @@ mod tests {
         // Reference value computed independently; guards against silent
         // constant drift, which would invalidate stored corpus digests.
         assert_eq!(fnv.finish(), 0x2450_D8E2_0861_381A);
+        assert_eq!(
+            fnv.finish(),
+            STABILITY_FINGERPRINT,
+            "the published stability fingerprint must match the live hasher"
+        );
     }
 
     #[test]

@@ -37,14 +37,24 @@ pub enum BugScenario {
     /// instructions never update `fflags` (explicit CSR writes still
     /// work).
     DroppedFflags,
+    /// The explicit CSR write port into `fflags`/`fcsr` is one bit too
+    /// narrow: its write mask covers only the low four exception flags,
+    /// so a CSR write instruction can neither set nor clear the NV
+    /// (invalid-operation) bit — the NV flop simply retains its previous
+    /// value, as a real `reg = (reg & ~0xF) | (value & 0xF)` port would.
+    /// FP-instruction flag accrual still works — the bug is in the
+    /// write-mask width of the CSR port, the ROADMAP's CSR write-mask
+    /// scenario class.
+    CsrWriteMask,
 }
 
 impl BugScenario {
     /// Every scenario, in catalogue order.
-    pub const ALL: [BugScenario; 3] = [
+    pub const ALL: [BugScenario; 4] = [
         BugScenario::B2ReservedRounding,
         BugScenario::OffByOneImmediate,
         BugScenario::DroppedFflags,
+        BugScenario::CsrWriteMask,
     ];
 
     /// Short stable identifier, used by `tf-cli fuzz --mutant <id>`.
@@ -54,6 +64,7 @@ impl BugScenario {
             BugScenario::B2ReservedRounding => "b2",
             BugScenario::OffByOneImmediate => "imm",
             BugScenario::DroppedFflags => "fflags",
+            BugScenario::CsrWriteMask => "csrmask",
         }
     }
 
@@ -66,6 +77,9 @@ impl BugScenario {
             }
             BugScenario::OffByOneImmediate => "addi computes rs1 + imm + 1",
             BugScenario::DroppedFflags => "FP instructions never update fflags",
+            BugScenario::CsrWriteMask => {
+                "CSR writes to fflags/fcsr cannot change the NV bit (write port one bit too narrow)"
+            }
         }
     }
 
@@ -193,6 +207,52 @@ impl MutantHart {
         }
         outcome
     }
+
+    /// CSR write mask: after a retired CSR instruction that actually
+    /// wrote `fflags` or `fcsr`, put the *pre-write* NV bit back — the
+    /// buggy write port drives only the low four flag bits, so the NV
+    /// flop retains its old value whether the write tried to set or
+    /// clear it. The set/clear flavours with an `x0`/zero source perform
+    /// no write architecturally, so the bug does not fire for them, and
+    /// the FP accrual path ([`Hart::step`] retiring an FP instruction)
+    /// is untouched.
+    fn step_csr_mask(&mut self) -> StepOutcome {
+        let nv_before = self
+            .hart
+            .state()
+            .csrs()
+            .read(csr::FFLAGS)
+            .expect("fflags exists")
+            & csr::fflags::NV;
+        let outcome = self.hart.step();
+        if let StepOutcome::Retired(insn) = outcome {
+            let writes = match insn.opcode() {
+                Opcode::Csrrw | Opcode::Csrrwi => true,
+                Opcode::Csrrs | Opcode::Csrrc | Opcode::Csrrsi | Opcode::Csrrci => insn.rs1() != 0,
+                _ => false,
+            };
+            let flag_csr = insn
+                .csr_addr()
+                .is_some_and(|addr| addr == csr::FFLAGS || addr == csr::FCSR);
+            if writes && flag_csr {
+                let flags = self
+                    .hart
+                    .state()
+                    .csrs()
+                    .read(csr::FFLAGS)
+                    .expect("fflags exists");
+                let stuck = (flags & !csr::fflags::NV) | nv_before;
+                if stuck != flags {
+                    self.hart
+                        .state_mut()
+                        .csrs_mut()
+                        .write(csr::FFLAGS, stuck)
+                        .expect("fflags is writable");
+                }
+            }
+        }
+        outcome
+    }
 }
 
 impl Dut for MutantHart {
@@ -201,6 +261,7 @@ impl Dut for MutantHart {
             BugScenario::B2ReservedRounding => "mutant-b2",
             BugScenario::OffByOneImmediate => "mutant-imm",
             BugScenario::DroppedFflags => "mutant-fflags",
+            BugScenario::CsrWriteMask => "mutant-csrmask",
         }
     }
 
@@ -217,6 +278,7 @@ impl Dut for MutantHart {
             BugScenario::B2ReservedRounding => self.step_b2(),
             BugScenario::OffByOneImmediate => self.step_off_by_one(),
             BugScenario::DroppedFflags => self.step_dropped_fflags(),
+            BugScenario::CsrWriteMask => self.step_csr_mask(),
         }
     }
 
@@ -359,6 +421,96 @@ mod tests {
         assert_eq!(mutant.hart().state().csrs().read(csr::FFLAGS), Some(0));
         // The quotient itself is still computed correctly.
         assert_eq!(mutant.hart().state().f32(f(1)), reference.state().f32(f(1)));
+    }
+
+    #[test]
+    fn csr_mask_mutant_drops_nv_on_explicit_writes() {
+        // csrrwi fflags, 0x1F asks for all five flags; the buggy write
+        // port only drives the low four.
+        let program = [
+            Instruction::csr_imm(Opcode::Csrrwi, Gpr::ZERO, csr::FFLAGS, 0x1F).unwrap(),
+            Instruction::system(Opcode::Ebreak),
+        ];
+        let mut reference = Hart::new(1 << 16);
+        reference.load_program(0, &program).unwrap();
+        let mut mutant = MutantHart::new(1 << 16, BugScenario::CsrWriteMask);
+        mutant.load(0, &program).unwrap();
+        reference.run(10);
+        Dut::run(&mut mutant, 10);
+        assert_eq!(reference.state().csrs().read(csr::FFLAGS), Some(0x1F));
+        assert_eq!(
+            mutant.hart().state().csrs().read(csr::FFLAGS),
+            Some(0x1F & !csr::fflags::NV),
+            "NV must not survive the narrow write port"
+        );
+        assert_ne!(Dut::digest(&mutant), reference.digest());
+    }
+
+    #[test]
+    fn csr_mask_mutant_retains_nv_against_an_explicit_clear() {
+        // The stuck port works both ways: once NV is accrued (0/0 is
+        // invalid), a csrrwi fflags, 0 clears it on the reference but
+        // leaves the mutant's NV flop holding its old value.
+        let program = [
+            Instruction::fp_r_type(Opcode::FdivS, f(1), f(2), f(3), Some(RoundingMode::Rne))
+                .unwrap(),
+            Instruction::csr_imm(Opcode::Csrrwi, Gpr::ZERO, csr::FFLAGS, 0).unwrap(),
+            Instruction::system(Opcode::Ebreak),
+        ];
+        let setup = |hart: &mut Hart| {
+            hart.state_mut().set_f32(f(2), 0.0);
+            hart.state_mut().set_f32(f(3), 0.0);
+        };
+        let mut reference = Hart::new(1 << 16);
+        reference.load_program(0, &program).unwrap();
+        setup(&mut reference);
+        let mut mutant = MutantHart::new(1 << 16, BugScenario::CsrWriteMask);
+        mutant.load(0, &program).unwrap();
+        setup(&mut mutant.hart);
+        reference.run(10);
+        Dut::run(&mut mutant, 10);
+        assert_eq!(reference.state().csrs().read(csr::FFLAGS), Some(0));
+        assert_eq!(
+            mutant.hart().state().csrs().read(csr::FFLAGS),
+            Some(csr::fflags::NV),
+            "the stuck NV flop must survive the explicit clear"
+        );
+        assert_ne!(Dut::digest(&mutant), reference.digest());
+    }
+
+    #[test]
+    fn csr_mask_mutant_leaves_accrual_and_zero_source_writes_alone() {
+        // 0/0 is invalid: the FP accrual path sets NV and must still work
+        // on the mutant. A csrrs with an x0 source performs no write, so
+        // the accrued NV must survive it too.
+        let program = [
+            Instruction::fp_r_type(Opcode::FdivS, f(1), f(2), f(3), Some(RoundingMode::Rne))
+                .unwrap(),
+            Instruction::csr_reg(Opcode::Csrrs, x(5), csr::FFLAGS, Gpr::ZERO).unwrap(),
+            Instruction::system(Opcode::Ebreak),
+        ];
+        let setup = |hart: &mut Hart| {
+            hart.state_mut().set_f32(f(2), 0.0);
+            hart.state_mut().set_f32(f(3), 0.0);
+        };
+        let mut reference = Hart::new(1 << 16);
+        reference.load_program(0, &program).unwrap();
+        setup(&mut reference);
+        let mut mutant = MutantHart::new(1 << 16, BugScenario::CsrWriteMask);
+        mutant.load(0, &program).unwrap();
+        setup(&mut mutant.hart);
+        reference.run(10);
+        Dut::run(&mut mutant, 10);
+        assert_eq!(
+            reference.state().csrs().read(csr::FFLAGS),
+            Some(csr::fflags::NV),
+            "0.0/0.0 must accrue NV on the reference"
+        );
+        assert_eq!(
+            Dut::digest(&mutant),
+            reference.digest(),
+            "accrual and read-only CSR ops are outside the trigger"
+        );
     }
 
     #[test]

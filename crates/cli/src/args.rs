@@ -8,8 +8,11 @@ tf-cli — TurboFuzz differential fuzzing campaigns
 
 USAGE:
     tf-cli fuzz [OPTIONS]
+    tf-cli corpus info <FILE>
+    tf-cli corpus merge <OUT> <IN>...
+    tf-cli corpus minimize <FILE> [--out <OUT>]
 
-OPTIONS:
+FUZZ OPTIONS:
     --seed <N>        campaign seed (default 0)
     --steps <M>       generated-instruction budget (default 10000)
     --len <L>         instructions per program, incl. ebreak (default 32)
@@ -17,11 +20,26 @@ OPTIONS:
                       seed-disjoint campaigns and the reports merged
                       (default 1, which is bit-identical to the
                       single-threaded campaign)
-    --mutant <ID>     fuzz a known-buggy DUT: b2 | imm | fflags
+    --mutant <ID>     fuzz a known-buggy DUT: b2 | imm | fflags | csrmask
                       (default: the golden reference hart)
     --expect <WHAT>   exit non-zero unless the campaign reported
                       `divergence` or came back `clean`
-    -h, --help        print this help";
+    --corpus <FILE>   persistent corpus: seed the campaign from FILE when
+                      it exists, and save the grown corpus back to it
+                      (atomically) when the campaign finishes; with
+                      --jobs 1 a resumable checkpoint is saved too
+    --resume          continue the campaign checkpointed in --corpus up
+                      to the (raised) --steps budget — bit-identical to a
+                      single uninterrupted run; requires --jobs 1 and the
+                      same seed/len/flags as the checkpointed run
+    -h, --help        print this help
+
+CORPUS COMMANDS (all files use the versioned on-disk corpus format):
+    info              print header, entry and coverage statistics
+    merge             combine corpora from separate runs, deduplicated by
+                      coverage key, into OUT (checkpoints are stripped)
+    minimize          keep only entries contributing new coverage; write
+                      back in place, or to --out";
 
 /// Outcome the caller requires, mapped to the exit status.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +74,10 @@ pub struct FuzzArgs {
     pub mutant: Option<BugScenario>,
     /// Required campaign outcome, if any.
     pub expect: Option<Expectation>,
+    /// Persistent corpus file to load seeds from and save back to.
+    pub corpus: Option<String>,
+    /// Resume the checkpoint stored in the corpus file.
+    pub resume: bool,
     /// `-h`/`--help` was given: print usage instead of fuzzing.
     pub help: bool,
 }
@@ -69,6 +91,8 @@ impl Default for FuzzArgs {
             jobs: 1,
             mutant: None,
             expect: None,
+            corpus: None,
+            resume: false,
             help: false,
         }
     }
@@ -127,11 +151,101 @@ impl FuzzArgs {
                         }
                     });
                 }
+                "--corpus" => args.corpus = Some(value("--corpus")?),
+                "--resume" => args.resume = true,
                 "-h" | "--help" => args.help = true,
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
+        if args.resume {
+            if args.corpus.is_none() {
+                return Err("`--resume` requires `--corpus <FILE>`".into());
+            }
+            if args.jobs != 1 {
+                return Err(
+                    "`--resume` requires `--jobs 1` (checkpoints freeze one campaign)".into(),
+                );
+            }
+        }
         Ok(args)
+    }
+}
+
+/// Parsed `tf-cli corpus` subcommand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CorpusArgs {
+    /// `corpus info <FILE>`: print header and coverage statistics.
+    Info {
+        /// The corpus file to inspect.
+        path: String,
+    },
+    /// `corpus merge <OUT> <IN>...`: combine corpora into `out`.
+    Merge {
+        /// Destination file (overwritten atomically).
+        out: String,
+        /// Source corpora, merged in order.
+        inputs: Vec<String>,
+    },
+    /// `corpus minimize <FILE> [--out <OUT>]`: drop entries that
+    /// contribute no new coverage.
+    Minimize {
+        /// The corpus file to minimize.
+        path: String,
+        /// Destination; in-place when absent.
+        out: Option<String>,
+    },
+}
+
+impl CorpusArgs {
+    /// Parse the arguments following the `corpus` subcommand.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown verbs and missing
+    /// operands.
+    pub fn parse(argv: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut argv = argv.peekable();
+        let verb = argv
+            .next()
+            .ok_or("`corpus` needs a verb: info | merge | minimize")?;
+        match verb.as_str() {
+            "info" => {
+                let path = argv.next().ok_or("`corpus info` needs a file")?;
+                reject_extra(argv)?;
+                Ok(CorpusArgs::Info { path })
+            }
+            "merge" => {
+                let out = argv.next().ok_or("`corpus merge` needs an output file")?;
+                let inputs: Vec<String> = argv.collect();
+                if inputs.is_empty() {
+                    return Err("`corpus merge` needs at least one input file".into());
+                }
+                Ok(CorpusArgs::Merge { out, inputs })
+            }
+            "minimize" => {
+                let path = argv.next().ok_or("`corpus minimize` needs a file")?;
+                let mut out = None;
+                while let Some(flag) = argv.next() {
+                    match flag.as_str() {
+                        "--out" => {
+                            out = Some(argv.next().ok_or("`--out` requires a value")?);
+                        }
+                        other => return Err(format!("unknown flag `{other}`")),
+                    }
+                }
+                Ok(CorpusArgs::Minimize { path, out })
+            }
+            other => Err(format!(
+                "unknown corpus verb `{other}` (known: info, merge, minimize)"
+            )),
+        }
+    }
+}
+
+fn reject_extra(mut argv: impl Iterator<Item = String>) -> Result<(), String> {
+    match argv.next() {
+        None => Ok(()),
+        Some(extra) => Err(format!("unexpected argument `{extra}`")),
     }
 }
 
@@ -191,6 +305,63 @@ mod tests {
         assert!(parse(&["--help"]).unwrap().help);
         assert!(parse(&["-h"]).unwrap().help);
         assert!(!parse(&[]).unwrap().help);
+    }
+
+    #[test]
+    fn corpus_flags_parse_and_validate() {
+        let args = parse(&["--corpus", "seeds.tfc"]).unwrap();
+        assert_eq!(args.corpus.as_deref(), Some("seeds.tfc"));
+        assert!(!args.resume);
+
+        let args = parse(&["--corpus", "seeds.tfc", "--resume"]).unwrap();
+        assert!(args.resume);
+
+        assert!(parse(&["--resume"]).unwrap_err().contains("--corpus"));
+        assert!(parse(&["--corpus", "c", "--resume", "--jobs", "4"])
+            .unwrap_err()
+            .contains("--jobs 1"));
+    }
+
+    #[test]
+    fn corpus_subcommand_verbs_parse() {
+        let parse = |args: &[&str]| CorpusArgs::parse(args.iter().map(ToString::to_string));
+        assert_eq!(
+            parse(&["info", "a.tfc"]).unwrap(),
+            CorpusArgs::Info {
+                path: "a.tfc".into()
+            }
+        );
+        assert_eq!(
+            parse(&["merge", "out.tfc", "a.tfc", "b.tfc"]).unwrap(),
+            CorpusArgs::Merge {
+                out: "out.tfc".into(),
+                inputs: vec!["a.tfc".into(), "b.tfc".into()],
+            }
+        );
+        assert_eq!(
+            parse(&["minimize", "a.tfc", "--out", "b.tfc"]).unwrap(),
+            CorpusArgs::Minimize {
+                path: "a.tfc".into(),
+                out: Some("b.tfc".into()),
+            }
+        );
+        assert_eq!(
+            parse(&["minimize", "a.tfc"]).unwrap(),
+            CorpusArgs::Minimize {
+                path: "a.tfc".into(),
+                out: None,
+            }
+        );
+        assert!(parse(&[]).unwrap_err().contains("verb"));
+        assert!(parse(&["frob"])
+            .unwrap_err()
+            .contains("unknown corpus verb"));
+        assert!(parse(&["merge", "out.tfc"])
+            .unwrap_err()
+            .contains("at least one input"));
+        assert!(parse(&["info", "a.tfc", "extra"])
+            .unwrap_err()
+            .contains("unexpected argument"));
     }
 
     #[test]

@@ -1,77 +1,79 @@
 //! `tf-cli` — command-line driver for TurboFuzz fuzzing campaigns.
 //!
-//! The binary is a thin shell over [`tf_fuzz::run_sharded`]: it parses a
-//! handful of flags (hand-rolled — the container carries no argument-
-//! parsing dependency), shards the instruction budget across `--jobs`
-//! worker campaigns pointed at the requested device under test (the
-//! golden hart, or a [`tf_arch::MutantHart`] with a planted bug
-//! scenario) and prints the merged [`tf_fuzz::ShardedReport`]. With the
-//! default `--jobs 1` the campaign portion of the output is bit-
-//! identical to the single-threaded [`tf_fuzz::Campaign`].
+//! The binary is a thin shell over [`tf_fuzz`]: it parses a handful of
+//! flags (hand-rolled — the container carries no argument-parsing
+//! dependency), shards the instruction budget across `--jobs` worker
+//! campaigns pointed at the requested device under test (the golden
+//! hart, or a [`tf_arch::MutantHart`] with a planted bug scenario) and
+//! prints the merged report. With the default `--jobs 1` the campaign
+//! portion of the output is bit-identical to the single-threaded
+//! [`tf_fuzz::Campaign`].
 //!
 //! ```text
 //! tf-cli fuzz --seed 7 --steps 10000 --jobs 4 --mutant b2 --expect divergence
+//! tf-cli fuzz --seed 7 --steps 10000 --corpus seeds.tfc
+//! tf-cli fuzz --seed 7 --steps 20000 --corpus seeds.tfc --resume
+//! tf-cli corpus merge all.tfc run-a.tfc run-b.tfc
 //! ```
+//!
+//! `--corpus` makes the campaign persistent: seeds load from the file
+//! before the run and the grown corpus is saved back (atomically) after,
+//! together with a full campaign checkpoint when `--jobs 1`. `--resume`
+//! thaws that checkpoint and continues to a raised `--steps` budget —
+//! bit-identical to a single uninterrupted run, which is what the CI
+//! determinism gate asserts byte for byte. All campaign reports go to
+//! stdout; corpus bookkeeping goes to stderr so resumed and
+//! uninterrupted runs produce identical stdout.
 //!
 //! `--expect divergence|clean` turns the campaign outcome into the exit
 //! status, which is how CI gates the fuzzer end to end.
 
+use std::path::Path;
 use std::process::ExitCode;
 
-use tf_arch::{Hart, MutantHart};
-use tf_fuzz::{run_sharded, CampaignConfig, ShardedReport};
+use tf_arch::{Dut, Hart, MutantHart};
+use tf_fuzz::persist::{self, LoadedFile};
+use tf_fuzz::{
+    run_sharded_seeded, Campaign, CampaignConfig, CampaignReport, Corpus, SeedEntry, ShardedReport,
+};
 
 mod args;
 
-use args::{Expectation, FuzzArgs};
+use args::{CorpusArgs, Expectation, FuzzArgs};
 
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1);
     match argv.next().as_deref() {
         Some("fuzz") => match FuzzArgs::parse(argv) {
             Ok(args) => run_fuzz(&args),
-            Err(error) => {
-                eprintln!("tf-cli: {error}");
-                eprintln!("{}", args::USAGE);
-                ExitCode::from(1)
-            }
+            Err(error) => usage_error(&error),
+        },
+        Some("corpus") => match CorpusArgs::parse(argv) {
+            Ok(args) => run_corpus(&args),
+            Err(error) => usage_error(&error),
         },
         Some("--help" | "-h" | "help") | None => {
             println!("{}", args::USAGE);
             ExitCode::SUCCESS
         }
-        Some(other) => {
-            eprintln!("tf-cli: unknown command `{other}`");
-            eprintln!("{}", args::USAGE);
-            ExitCode::from(1)
-        }
+        Some(other) => usage_error(&format!("unknown command `{other}`")),
     }
 }
 
-fn run_fuzz(args: &FuzzArgs) -> ExitCode {
-    if args.help {
-        println!("{}", args::USAGE);
-        return ExitCode::SUCCESS;
-    }
-    let config = CampaignConfig {
-        seed: args.seed,
-        instruction_budget: args.steps,
-        program_len: args.len,
-        ..CampaignConfig::default()
-    };
-    let mem_size = config.mem_size;
-    if let Some(scenario) = args.mutant {
-        println!("injected bug scenario — {scenario}");
-    }
-    let sharded: ShardedReport = match args.mutant {
-        None => run_sharded(&config, args.jobs, |_| Hart::new(mem_size)),
-        Some(scenario) => run_sharded(&config, args.jobs, move |_| {
-            MutantHart::new(mem_size, scenario)
-        }),
-    };
-    println!("{sharded}");
-    let report = &sharded.merged;
-    match args.expect {
+fn usage_error(error: &str) -> ExitCode {
+    eprintln!("tf-cli: {error}");
+    eprintln!("{}", args::USAGE);
+    ExitCode::from(1)
+}
+
+fn fail(error: &str) -> ExitCode {
+    eprintln!("tf-cli: {error}");
+    ExitCode::from(1)
+}
+
+/// Map the campaign outcome to the exit status `--expect` demands.
+fn verdict(report: &CampaignReport, expect: Option<Expectation>) -> ExitCode {
+    match expect {
         None => ExitCode::SUCCESS,
         Some(Expectation::Divergence) if !report.is_clean() => ExitCode::SUCCESS,
         Some(Expectation::Clean) if report.is_clean() => ExitCode::SUCCESS,
@@ -87,6 +89,302 @@ fn run_fuzz(args: &FuzzArgs) -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+fn run_fuzz(args: &FuzzArgs) -> ExitCode {
+    if args.help {
+        println!("{}", args::USAGE);
+        return ExitCode::SUCCESS;
+    }
+    let config = CampaignConfig {
+        seed: args.seed,
+        instruction_budget: args.steps,
+        program_len: args.len,
+        ..CampaignConfig::default()
+    };
+    if let Some(scenario) = args.mutant {
+        println!("injected bug scenario — {scenario}");
+    }
+    match &args.corpus {
+        Some(path) => run_fuzz_persistent(args, config, Path::new(path)),
+        None => run_fuzz_ephemeral(args, &config),
+    }
+}
+
+/// The original in-memory path: shard, merge, print, gate.
+fn run_fuzz_ephemeral(args: &FuzzArgs, config: &CampaignConfig) -> ExitCode {
+    let sharded = run_sharded_for(config, args.jobs, args.mutant, &[]);
+    println!("{sharded}");
+    verdict(&sharded.merged, args.expect)
+}
+
+fn run_sharded_for(
+    config: &CampaignConfig,
+    jobs: usize,
+    mutant: Option<tf_arch::BugScenario>,
+    seeds: &[SeedEntry],
+) -> ShardedReport {
+    let mem_size = config.mem_size;
+    match mutant {
+        None => run_sharded_seeded(config, jobs, seeds, |_| Hart::new(mem_size)),
+        Some(scenario) => run_sharded_seeded(config, jobs, seeds, move |_| {
+            MutantHart::new(mem_size, scenario)
+        }),
+    }
+}
+
+/// The persistent path: load seeds (and maybe a checkpoint) from the
+/// corpus file, run, save the grown corpus back. All bookkeeping lines
+/// go to stderr; only the campaign report reaches stdout, so a resumed
+/// run and an uninterrupted run of the same budget print byte-identical
+/// reports.
+fn run_fuzz_persistent(args: &FuzzArgs, config: CampaignConfig, path: &Path) -> ExitCode {
+    let loaded: Option<LoadedFile> = if path.exists() {
+        match persist::load_file(path) {
+            Ok(loaded) => {
+                let r = &loaded.report;
+                eprintln!(
+                    "corpus: loaded {} seed(s) from {} ({} skipped{}{})",
+                    r.loaded,
+                    path.display(),
+                    r.skipped,
+                    if r.truncated { ", truncated tail" } else { "" },
+                    if loaded.checkpoint.is_some() {
+                        ", checkpoint present"
+                    } else {
+                        ""
+                    },
+                );
+                Some(loaded)
+            }
+            Err(error) => return fail(&error.to_string()),
+        }
+    } else if args.resume {
+        return fail(&format!(
+            "cannot resume: `{}` does not exist",
+            path.display()
+        ));
+    } else {
+        None
+    };
+
+    if args.jobs > 1 {
+        // Sharded persistent run: seed every worker from the file, save
+        // the merged worker corpora back (no checkpoint — those freeze
+        // exactly one campaign, and resuming one against a corpus grown
+        // by other workers would not be bit-identical).
+        if loaded.as_ref().is_some_and(|l| l.checkpoint.is_some()) {
+            eprintln!(
+                "corpus: warning: a --jobs {} run saves seeds only; the file's \
+                 campaign checkpoint is dropped and --resume will no longer work",
+                args.jobs
+            );
+        }
+        let seeds = loaded.map(|l| l.entries).unwrap_or_default();
+        let sharded = run_sharded_for(&config, args.jobs, args.mutant, &seeds);
+        // The report comes first: a failing save must not swallow what
+        // the (completed) campaign observed.
+        println!("{sharded}");
+        if let Err(error) = persist::save_entries(path, &sharded.corpus) {
+            return fail(&format!("saving corpus: {error}"));
+        }
+        eprintln!(
+            "corpus: saved {} seed(s) to {}",
+            sharded.corpus.len(),
+            path.display()
+        );
+        return verdict(&sharded.merged, args.expect);
+    }
+
+    // Single campaign: checkpointable, resumable.
+    let mem_size = config.mem_size;
+    let mut golden;
+    let mut mutant_hart;
+    let dut: &mut dyn Dut = match args.mutant {
+        None => {
+            golden = Hart::new(mem_size);
+            &mut golden
+        }
+        Some(scenario) => {
+            mutant_hart = MutantHart::new(mem_size, scenario);
+            &mut mutant_hart
+        }
+    };
+
+    let (mut campaign, prior) = if args.resume {
+        let loaded = loaded.expect("resume requires an existing file");
+        if loaded.report.skipped > 0 || loaded.report.truncated {
+            return fail(&format!(
+                "`{}` lost records to corruption ({} skipped{}); a damaged corpus \
+                 cannot resume bit-identically — re-run without --resume to reseed from it",
+                path.display(),
+                loaded.report.skipped,
+                if loaded.report.truncated {
+                    ", truncated tail"
+                } else {
+                    ""
+                }
+            ));
+        }
+        let Some(checkpoint) = loaded.checkpoint else {
+            return fail(&format!(
+                "`{}` carries no campaign checkpoint to resume \
+                 (was it written by `corpus merge` or a --jobs > 1 run?)",
+                path.display()
+            ));
+        };
+        if checkpoint.report.dut != dut.name() {
+            return fail(&format!(
+                "checkpoint was recorded against `{}`, not `{}` — pass the same --mutant",
+                checkpoint.report.dut,
+                dut.name()
+            ));
+        }
+        if checkpoint.report.instructions_generated >= args.steps {
+            return fail(&format!(
+                "nothing to resume: the checkpoint already covers {} instructions; \
+                 raise --steps beyond that to continue the campaign",
+                checkpoint.report.instructions_generated
+            ));
+        }
+        let campaign = match Campaign::restore(config, &checkpoint, &loaded.entries) {
+            Ok(campaign) => campaign,
+            Err(error) => return fail(&error.to_string()),
+        };
+        eprintln!(
+            "corpus: resuming at {} of {} instructions",
+            checkpoint.report.instructions_generated, args.steps
+        );
+        (campaign, checkpoint.report)
+    } else {
+        let mut campaign = Campaign::new(config);
+        if let Some(loaded) = &loaded {
+            let admitted = campaign.prime(&loaded.entries);
+            eprintln!("corpus: primed {admitted} seed(s) into the campaign");
+        }
+        (campaign, CampaignReport::default())
+    };
+
+    let report = campaign.resume(dut, prior);
+    // The report comes first: a failing save must not swallow what the
+    // (completed) campaign observed.
+    println!("{report}");
+    let checkpoint = campaign.checkpoint(&report);
+    if let Err(error) = persist::save_campaign(path, campaign.corpus().entries(), &checkpoint) {
+        return fail(&format!("saving corpus: {error}"));
+    }
+    eprintln!(
+        "corpus: saved {} seed(s) + checkpoint to {}",
+        campaign.corpus().len(),
+        path.display()
+    );
+    verdict(&report, args.expect)
+}
+
+fn run_corpus(args: &CorpusArgs) -> ExitCode {
+    match args {
+        CorpusArgs::Info { path } => corpus_info(Path::new(path)),
+        CorpusArgs::Merge { out, inputs } => corpus_merge(Path::new(out), inputs),
+        CorpusArgs::Minimize { path, out } => {
+            let destination = out.as_deref().map_or_else(|| Path::new(path), Path::new);
+            corpus_minimize(Path::new(path), destination)
+        }
+    }
+}
+
+fn corpus_info(path: &Path) -> ExitCode {
+    let loaded = match persist::load_file(path) {
+        Ok(loaded) => loaded,
+        Err(error) => return fail(&error.to_string()),
+    };
+    let words: usize = loaded.entries.iter().map(|e| e.program.len()).sum();
+    let digests: std::collections::HashSet<u64> =
+        loaded.entries.iter().map(|e| e.trace_digest).collect();
+    let trap_sets: std::collections::HashSet<u64> =
+        loaded.entries.iter().map(|e| e.trap_causes).collect();
+    println!("corpus {}:", path.display());
+    println!(
+        "  format v{}  digest fingerprint {:#018x}",
+        persist::FORMAT_VERSION,
+        tf_arch::digest::STABILITY_FINGERPRINT
+    );
+    println!(
+        "  {} entries ({} instructions), {} unique trace digests, {} trap-cause sets",
+        loaded.entries.len(),
+        words,
+        digests.len(),
+        trap_sets.len()
+    );
+    println!(
+        "  salvage: {} loaded, {} corrupt, {} unknown-tag{}",
+        loaded.report.loaded,
+        loaded.report.skipped,
+        loaded.report.unknown,
+        if loaded.report.truncated {
+            ", truncated tail"
+        } else {
+            ""
+        }
+    );
+    match loaded.checkpoint {
+        Some(checkpoint) => println!(
+            "  checkpoint: {} instructions against `{}` ({} divergent runs)",
+            checkpoint.report.instructions_generated,
+            checkpoint.report.dut,
+            checkpoint.report.divergent_runs
+        ),
+        None => println!("  checkpoint: none"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn corpus_merge(out: &Path, inputs: &[String]) -> ExitCode {
+    let mut merged = Corpus::new(0);
+    for input in inputs {
+        let loaded = match persist::load_file(Path::new(input)) {
+            Ok(loaded) => loaded,
+            Err(error) => return fail(&format!("{input}: {error}")),
+        };
+        let admitted = merged.merge_entries(&loaded.entries);
+        eprintln!(
+            "corpus: {input}: {} entries, {admitted} new",
+            loaded.entries.len()
+        );
+    }
+    if let Err(error) = merged.save(out) {
+        return fail(&format!("saving {}: {error}", out.display()));
+    }
+    println!(
+        "merged {} corpora into {} ({} entries)",
+        inputs.len(),
+        out.display(),
+        merged.len()
+    );
+    ExitCode::SUCCESS
+}
+
+fn corpus_minimize(path: &Path, out: &Path) -> ExitCode {
+    let loaded = match persist::load_file(path) {
+        Ok(loaded) => loaded,
+        Err(error) => return fail(&error.to_string()),
+    };
+    if loaded.checkpoint.is_some() {
+        eprintln!(
+            "tf-cli: warning: minimized output drops the campaign checkpoint \
+             (a shrunk corpus cannot resume bit-identically)"
+        );
+    }
+    let kept = persist::minimize_entries(&loaded.entries);
+    if let Err(error) = persist::save_entries(out, &kept) {
+        return fail(&format!("saving {}: {error}", out.display()));
+    }
+    println!(
+        "minimized {} -> {} entries into {}",
+        loaded.entries.len(),
+        kept.len(),
+        out.display()
+    );
+    ExitCode::SUCCESS
 }
 
 #[cfg(test)]
@@ -130,5 +428,65 @@ mod tests {
             ..args
         };
         assert_eq!(run_fuzz(&args), ExitCode::SUCCESS);
+    }
+
+    #[test]
+    fn persistent_campaigns_save_load_and_resume() {
+        let dir = std::env::temp_dir().join(format!("tf-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let corpus = dir.join("seeds.tfc");
+        let corpus_str = corpus.to_str().unwrap().to_string();
+
+        // Interrupted at half budget, then resumed to the full budget.
+        let half = FuzzArgs {
+            seed: 3,
+            steps: 1_000,
+            corpus: Some(corpus_str.clone()),
+            expect: Some(Expectation::Clean),
+            ..FuzzArgs::default()
+        };
+        assert_eq!(run_fuzz(&half), ExitCode::SUCCESS);
+        assert!(corpus.exists());
+        let resumed = FuzzArgs {
+            steps: 2_000,
+            resume: true,
+            ..half.clone()
+        };
+        assert_eq!(run_fuzz(&resumed), ExitCode::SUCCESS);
+
+        // The resumed file still carries a loadable checkpoint at the
+        // full budget.
+        let loaded = persist::load_file(&corpus).unwrap();
+        let checkpoint = loaded.checkpoint.unwrap();
+        assert!(checkpoint.report.instructions_generated >= 2_000);
+        assert!(!loaded.entries.is_empty());
+
+        // A sharded persistent run seeds from and rewrites the same file.
+        let sharded = FuzzArgs {
+            steps: 2_000,
+            jobs: 2,
+            resume: false,
+            ..half
+        };
+        assert_eq!(run_fuzz(&sharded), ExitCode::SUCCESS);
+        let loaded = persist::load_file(&corpus).unwrap();
+        assert!(loaded.checkpoint.is_none(), "sharded runs save seeds only");
+        assert!(!loaded.entries.is_empty());
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_without_checkpoint_or_file_fails_cleanly() {
+        let dir = std::env::temp_dir().join(format!("tf-cli-test-nores-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let missing = dir.join("missing.tfc");
+        let args = FuzzArgs {
+            corpus: Some(missing.to_str().unwrap().to_string()),
+            resume: true,
+            ..FuzzArgs::default()
+        };
+        assert_eq!(run_fuzz(&args), ExitCode::from(1));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -11,13 +11,15 @@
 
 use std::collections::HashSet;
 
+use tf_arch::digest::Fnv;
 use tf_arch::{Dut, Hart, RunExit};
-use tf_riscv::{InstructionLibrary, LibraryConfig};
+use tf_riscv::{Extension, Format, InstructionLibrary, LibraryConfig};
 
-use crate::corpus::{minimize, Corpus};
+use crate::corpus::{minimize, Corpus, SeedEntry};
 use crate::coverage::CoverageMap;
 use crate::diff::{DiffEngine, DiffVerdict, Divergence};
 use crate::generator::{GeneratorConfig, ProgramGenerator};
+use crate::persist::CampaignCheckpoint;
 use crate::rng::SplitMix64;
 
 /// Divergence reports kept in full; beyond this only the count grows.
@@ -58,6 +60,78 @@ impl Default for CampaignConfig {
         }
     }
 }
+
+impl CampaignConfig {
+    /// Stable fingerprint of everything that shapes the campaign's
+    /// decision streams — seed, program shape, step budget, memory
+    /// geometry, generator tuning, and the active instruction set. The
+    /// instruction *budget* is deliberately excluded: resuming a
+    /// checkpoint with a larger budget is the whole point of resume, and
+    /// the budget never feeds an RNG stream. Checkpoints carry this value
+    /// so a resume under a different configuration is rejected instead of
+    /// silently diverging.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut fnv = Fnv::new();
+        fnv.write_u64(self.seed);
+        fnv.write_u64(self.program_len as u64);
+        fnv.write_u64(self.max_steps_per_program);
+        fnv.write_u64(self.mem_size);
+        fnv.write_u64(self.base);
+        fnv.write_u64(self.generator.tournament as u64);
+        fnv.write_u64(u64::from(self.generator.rm_stress));
+        for ext in Extension::ALL {
+            fnv.write_u64(u64::from(self.library.extension_active(ext)));
+        }
+        for format in Format::ALL {
+            fnv.write_u64(u64::from(self.library.format_active(format)));
+        }
+        fnv.finish()
+    }
+}
+
+/// Why a [`CampaignCheckpoint`] could not be restored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestoreError {
+    /// The checkpoint was frozen under a different campaign
+    /// configuration; its RNG streams would not reproduce this config's
+    /// run.
+    ConfigMismatch {
+        /// Fingerprint the checkpoint was frozen under.
+        expected: u64,
+        /// Fingerprint of the configuration offered for resume.
+        found: u64,
+    },
+    /// The corpus offered for resume does not have the entry count the
+    /// checkpoint was frozen with — some seed records were lost (corrupt
+    /// or truncated file) or foreign ones added, so corpus-mutation
+    /// scheduling would diverge from the uninterrupted run.
+    CorpusMismatch {
+        /// Entry count the checkpointed campaign held.
+        expected: usize,
+        /// Entry count actually offered.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::ConfigMismatch { expected, found } => write!(
+                f,
+                "checkpoint was frozen under config fingerprint {expected:#018x}, \
+                 but resume was requested with {found:#018x} (same seed/len/flags required)"
+            ),
+            RestoreError::CorpusMismatch { expected, found } => write!(
+                f,
+                "checkpoint was frozen with {expected} corpus entries but {found} were \
+                 offered — a damaged or altered corpus cannot resume bit-identically"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
 
 /// What a finished campaign observed.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -219,13 +293,134 @@ impl Campaign {
         &self.coverage
     }
 
+    /// The corpus the campaign has accumulated so far.
+    #[must_use]
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// Consume the campaign, yielding its corpus without cloning —
+    /// for drivers that persist or merge the seeds after the run.
+    #[must_use]
+    pub fn into_corpus(self) -> Corpus {
+        self.corpus
+    }
+
+    /// Seed the campaign with entries from an earlier run (cross-run
+    /// cross-pollination): entries are merged into the corpus — deduped
+    /// by [`SeedEntry::coverage_key`] — and their coverage keys admitted
+    /// into the coverage map, so the schedule exploits them from the
+    /// first iteration and re-discovering their traces is not "new"
+    /// coverage. Returns how many entries were admitted.
+    ///
+    /// Priming is an *input* to the campaign: two campaigns primed with
+    /// the same entries are still deterministic, but a primed campaign
+    /// explores differently than an unprimed one.
+    pub fn prime(&mut self, entries: &[SeedEntry]) -> usize {
+        let admitted = self.corpus.merge_entries(entries);
+        for entry in entries {
+            self.coverage.admit(entry.trace_digest);
+            self.coverage.admit_trap_set(entry.trap_causes);
+        }
+        admitted
+    }
+
+    /// Freeze the campaign's complete mid-run state: the report counters
+    /// so far plus every RNG stream position and the coverage map. The
+    /// corpus entries are not part of the checkpoint value — the persist
+    /// layer stores them alongside it as ordinary seed records.
+    ///
+    /// Restoring the checkpoint (with the same config and the same corpus
+    /// entries) and running to a larger budget is bit-identical to a
+    /// single uninterrupted run of that budget.
+    #[must_use]
+    pub fn checkpoint(&self, report: &CampaignReport) -> CampaignCheckpoint {
+        let (generator_rng, library_rng) = self.generator.rng_states();
+        CampaignCheckpoint {
+            config_fingerprint: self.config.fingerprint(),
+            report: report.clone(),
+            campaign_rng: self.rng.state(),
+            corpus_rng: self.corpus.rng_state(),
+            generator_rng,
+            library_rng,
+            coverage: self.coverage.clone(),
+        }
+    }
+
+    /// Rebuild a campaign from a [`CampaignCheckpoint`] and the corpus
+    /// entries saved with it. Call [`Campaign::resume`] with the
+    /// checkpoint's report afterwards (or use the two-step flow the CLI
+    /// does: restore, then `resume`).
+    ///
+    /// # Errors
+    ///
+    /// Rejects a checkpoint whose [`CampaignConfig::fingerprint`] does
+    /// not match `config` — resuming under different generation
+    /// parameters cannot reproduce the original stream — and a corpus
+    /// whose entry count differs from what the checkpoint was frozen
+    /// with (seed records lost to corruption, or foreign ones added):
+    /// mutation scheduling indexes into the corpus, so a changed corpus
+    /// silently breaks the bit-identical-resume guarantee.
+    pub fn restore(
+        config: CampaignConfig,
+        checkpoint: &CampaignCheckpoint,
+        entries: &[SeedEntry],
+    ) -> Result<Self, RestoreError> {
+        let found = config.fingerprint();
+        if checkpoint.config_fingerprint != found {
+            return Err(RestoreError::ConfigMismatch {
+                expected: checkpoint.config_fingerprint,
+                found,
+            });
+        }
+        let mut campaign = Campaign::new(config);
+        campaign.corpus.merge_entries(entries);
+        // Validate *after* the merge: duplicate coverage keys dedup away,
+        // so an offered list that matches the count but shrinks on merge
+        // is just as unresumable as a short one.
+        if campaign.corpus.len() != checkpoint.report.corpus_size {
+            return Err(RestoreError::CorpusMismatch {
+                expected: checkpoint.report.corpus_size,
+                found: campaign.corpus.len(),
+            });
+        }
+        campaign.coverage = checkpoint.coverage.clone();
+        campaign.rng.set_state(checkpoint.campaign_rng);
+        campaign.corpus.set_rng_state(checkpoint.corpus_rng);
+        campaign
+            .generator
+            .set_rng_states(checkpoint.generator_rng, checkpoint.library_rng);
+        Ok(campaign)
+    }
+
     /// Run the campaign against `dut`, differencing every program
     /// against a fresh golden [`Hart`] reference.
     pub fn run(&mut self, dut: &mut dyn Dut) -> CampaignReport {
+        self.resume(dut, CampaignReport::default())
+    }
+
+    /// Continue a campaign from prior report counters — the resume path.
+    /// With a default (empty) prior report this *is* [`Campaign::run`];
+    /// with the report of a restored checkpoint it picks the budget up
+    /// exactly where the interrupted run left off.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `prior` was recorded against a *different* device
+    /// than `dut` (by [`Dut::name`]) — continuing another device's
+    /// campaign would attribute its counters, and any divergences, to
+    /// the wrong DUT. An empty `prior.dut` (a fresh report) is exempt.
+    pub fn resume(&mut self, dut: &mut dyn Dut, prior: CampaignReport) -> CampaignReport {
+        assert!(
+            prior.dut.is_empty() || prior.dut == dut.name(),
+            "cannot resume a campaign recorded against `{}` on `{}`",
+            prior.dut,
+            dut.name()
+        );
         let mut reference = Hart::new(self.config.mem_size);
         let mut report = CampaignReport {
             dut: dut.name().to_string(),
-            ..CampaignReport::default()
+            ..prior
         };
         while report.instructions_generated < self.config.instruction_budget {
             // Half the schedule explores fresh programs, half exploits
@@ -262,7 +457,7 @@ impl Campaign {
                     let new_trace = self.coverage.observe(trace_digest);
                     let new_traps = self.coverage.observe_trap_set(trap_causes);
                     if new_trace || new_traps {
-                        self.corpus.save(program, trace_digest);
+                        self.corpus.add(program, trace_digest, trap_causes);
                     }
                 }
                 Ok(DiffVerdict::Diverged(divergence)) => {
@@ -346,6 +541,104 @@ mod tests {
             "report does not show the reference trap:\n{report}"
         );
         assert_ne!(divergence.reference_digest, divergence.dut_digest);
+    }
+
+    #[test]
+    fn checkpoint_resume_reproduces_the_uninterrupted_run() {
+        let full_config = config(2_000);
+        let mut uninterrupted = Campaign::new(full_config.clone());
+        let mut dut = Hart::new(1 << 16);
+        let full = uninterrupted.run(&mut dut);
+
+        // Same campaign, interrupted at half budget and frozen...
+        let half_config = CampaignConfig {
+            instruction_budget: 1_000,
+            ..full_config.clone()
+        };
+        let mut first = Campaign::new(half_config);
+        let mut dut = Hart::new(1 << 16);
+        let half = first.run(&mut dut);
+        let checkpoint = first.checkpoint(&half);
+        let entries = first.corpus().entries().to_vec();
+
+        // ...then thawed into a fresh Campaign and run to the full budget.
+        let mut second = Campaign::restore(full_config, &checkpoint, &entries).unwrap();
+        let mut dut = Hart::new(1 << 16);
+        let resumed = second.resume(&mut dut, checkpoint.report.clone());
+        assert_eq!(resumed, full, "resume must be bit-identical");
+        assert_eq!(second.corpus().entries(), uninterrupted.corpus().entries());
+    }
+
+    #[test]
+    fn restore_rejects_a_different_config() {
+        let campaign = Campaign::new(config(1_000));
+        let checkpoint = campaign.checkpoint(&CampaignReport::default());
+        let other = CampaignConfig {
+            seed: 0xBEEF,
+            ..config(1_000)
+        };
+        assert!(matches!(
+            Campaign::restore(other, &checkpoint, &[]),
+            Err(RestoreError::ConfigMismatch { .. })
+        ));
+        // The budget is *not* part of the fingerprint: raising it resumes.
+        let bigger = CampaignConfig {
+            instruction_budget: 9_999,
+            ..config(1_000)
+        };
+        assert!(Campaign::restore(bigger, &checkpoint, &[]).is_ok());
+    }
+
+    #[test]
+    fn restore_rejects_a_mismatched_corpus() {
+        // A corpus that lost entries (corruption) or gained foreign ones
+        // cannot replay the mutation schedule bit-identically.
+        let mut campaign = Campaign::new(config(1_500));
+        let mut dut = Hart::new(1 << 16);
+        let report = campaign.run(&mut dut);
+        assert!(report.corpus_size > 0);
+        let checkpoint = campaign.checkpoint(&report);
+        assert!(matches!(
+            Campaign::restore(config(1_500), &checkpoint, &[]),
+            Err(RestoreError::CorpusMismatch { found: 0, .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot resume a campaign recorded against")]
+    fn resume_rejects_a_different_dut() {
+        let mut campaign = Campaign::new(config(500));
+        let mut golden = Hart::new(1 << 16);
+        let report = campaign.run(&mut golden);
+        let mut mutant = MutantHart::new(1 << 16, BugScenario::B2ReservedRounding);
+        let mut resumed = Campaign::new(config(1_000));
+        resumed.resume(&mut mutant, report);
+    }
+
+    #[test]
+    fn priming_installs_seeds_and_their_coverage() {
+        let mut donor = Campaign::new(config(1_500));
+        let mut dut = Hart::new(1 << 16);
+        let donor_report = donor.run(&mut dut);
+        assert!(donor_report.corpus_size > 0);
+
+        let mut primed = Campaign::new(CampaignConfig {
+            seed: 0x5EED,
+            ..config(1_500)
+        });
+        let admitted = primed.prime(donor.corpus().entries());
+        assert_eq!(admitted, donor.corpus().entries().len());
+        // Re-priming the same entries admits nothing new.
+        assert_eq!(primed.prime(donor.corpus().entries()), 0);
+        assert_eq!(primed.coverage().unique(), donor_report.unique_traces);
+
+        let mut dut = Hart::new(1 << 16);
+        let report = primed.run(&mut dut);
+        assert!(report.is_clean());
+        assert!(
+            report.corpus_size >= admitted,
+            "primed seeds stay in the corpus"
+        );
     }
 
     #[test]

@@ -1,31 +1,59 @@
 //! The seed corpus: interesting programs and how to evolve them.
 //!
-//! Programs that produced new coverage are saved with their trace
-//! digest. Later campaign iterations draw on the corpus instead of
-//! always generating from scratch: [`Corpus::mutate`] applies small
-//! structural edits (replace / insert / delete) that preserve the
-//! `ebreak` terminator, and [`minimize`] shrinks a divergence-triggering
-//! program to a near-minimal reproducer before it is reported — the
-//! classic corpus/stage decomposition of coverage-guided fuzzers.
+//! Programs that produced new coverage are saved with their coverage
+//! keys (trace digest and trap-cause set). Later campaign iterations
+//! draw on the corpus instead of always generating from scratch:
+//! [`Corpus::mutate`] applies small structural edits (replace / insert /
+//! delete) that preserve the `ebreak` terminator, and [`minimize`]
+//! shrinks a divergence-triggering program to a near-minimal reproducer
+//! before it is reported — the classic corpus/stage decomposition of
+//! coverage-guided fuzzers.
+//!
+//! A corpus also outlives the process: [`Corpus::save`] writes the
+//! entries to the versioned on-disk format of the [`persist`] module
+//! (atomically — temp file plus rename) and [`Corpus::load`] reads them
+//! back, skipping corrupt entries, so campaigns can resume and seeds can
+//! cross-pollinate between runs.
+//!
+//! [`persist`]: crate::persist
+
+use std::path::Path;
 
 use tf_riscv::Instruction;
 
 use crate::generator::ProgramGenerator;
+use crate::persist::{self, LoadReport, PersistError};
 use crate::rng::SplitMix64;
 
-/// One saved program and the trace digest that made it interesting.
+/// One saved program and the coverage keys that made it interesting.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SeedEntry {
     /// The program, `ebreak`-terminated.
     pub program: Vec<Instruction>,
     /// Digest of the reference execution trace it produced.
     pub trace_digest: u64,
+    /// Trap-cause bitmask of the run (the coarse secondary coverage key).
+    pub trap_causes: u64,
+}
+
+impl SeedEntry {
+    /// The pair of coverage keys the corpus deduplicates on when merging:
+    /// a campaign only records an entry when at least one of the two keys
+    /// is novel, so within one campaign no two entries share the pair.
+    #[must_use]
+    pub fn coverage_key(&self) -> (u64, u64) {
+        (self.trace_digest, self.trap_causes)
+    }
 }
 
 /// Seed programs that earned their place by producing new coverage.
 #[derive(Debug, Clone)]
 pub struct Corpus {
     entries: Vec<SeedEntry>,
+    // Coverage keys of `entries`, maintained incrementally so repeated
+    // `merge_entries` calls (one per worker, one per merged file) stay
+    // linear instead of re-hashing the whole corpus each time.
+    keys: std::collections::HashSet<(u64, u64)>,
     rng: SplitMix64,
 }
 
@@ -35,22 +63,93 @@ impl Corpus {
     pub fn new(seed: u64) -> Self {
         Corpus {
             entries: Vec::new(),
+            keys: std::collections::HashSet::new(),
             rng: SplitMix64::new(seed),
         }
     }
 
-    /// Save a program and the trace digest it covered.
-    pub fn save(&mut self, program: Vec<Instruction>, trace_digest: u64) {
+    /// Record a program and the coverage keys it earned.
+    pub fn add(&mut self, program: Vec<Instruction>, trace_digest: u64, trap_causes: u64) {
+        self.keys.insert((trace_digest, trap_causes));
         self.entries.push(SeedEntry {
             program,
             trace_digest,
+            trap_causes,
         });
+    }
+
+    /// Fold foreign entries in, skipping any whose
+    /// [`SeedEntry::coverage_key`] is already present — the dedup rule
+    /// sharded-campaign merges and `tf-cli corpus merge` share. Returns
+    /// how many entries were actually admitted.
+    pub fn merge_entries<'a, I>(&mut self, entries: I) -> usize
+    where
+        I: IntoIterator<Item = &'a SeedEntry>,
+    {
+        let mut admitted = 0;
+        for entry in entries {
+            if self.keys.insert(entry.coverage_key()) {
+                self.entries.push(entry.clone());
+                admitted += 1;
+            }
+        }
+        admitted
     }
 
     /// The saved entries, oldest first.
     #[must_use]
     pub fn entries(&self) -> &[SeedEntry] {
         &self.entries
+    }
+
+    /// Consume the corpus, yielding its entries without cloning the
+    /// programs — for handing a finished campaign's corpus to a report
+    /// or the persistence layer.
+    #[must_use]
+    pub fn into_entries(self) -> Vec<SeedEntry> {
+        self.entries
+    }
+
+    /// Write the corpus to `path` in the versioned on-disk format
+    /// ([`persist::save_entries`]): atomic temp-file-plus-rename, so a
+    /// crash mid-save never clobbers an existing corpus.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the underlying filesystem.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        persist::save_entries(path, &self.entries)
+    }
+
+    /// Load a corpus from `path`, with a fresh mutation stream seeded by
+    /// `seed`. Corrupt entries are skipped (counted in the returned
+    /// [`LoadReport`]); a bad header — wrong magic, unsupported format
+    /// version, or a digest-scheme fingerprint mismatch — rejects the
+    /// whole file instead of silently mis-replaying stale digests.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PersistError`] for I/O failures and header mismatches.
+    pub fn load(path: &Path, seed: u64) -> Result<(Self, LoadReport), PersistError> {
+        let loaded = persist::load_file(path)?;
+        let corpus = Corpus {
+            keys: loaded.entries.iter().map(SeedEntry::coverage_key).collect(),
+            entries: loaded.entries,
+            rng: SplitMix64::new(seed),
+        };
+        Ok((corpus, loaded.report))
+    }
+
+    /// The current state of the mutation-scheduling RNG (for campaign
+    /// checkpoints).
+    #[must_use]
+    pub fn rng_state(&self) -> u64 {
+        self.rng.state()
+    }
+
+    /// Restore the mutation stream to a checkpointed position.
+    pub fn set_rng_state(&mut self, state: u64) {
+        self.rng.set_state(state);
     }
 
     /// Number of saved seeds.
@@ -152,7 +251,7 @@ mod tests {
     #[test]
     fn mutate_preserves_the_terminator() {
         let mut corpus = Corpus::new(1);
-        corpus.save(vec![addi(1, 1), addi(2, 2), addi(3, 3), ebreak()], 0x11);
+        corpus.add(vec![addi(1, 1), addi(2, 2), addi(3, 3), ebreak()], 0x11, 0);
         let mut generator = generator();
         for _ in 0..64 {
             let mutated = corpus.mutate(&mut generator).unwrap();
@@ -173,7 +272,7 @@ mod tests {
     fn mutants_eventually_differ_from_their_seed() {
         let seed_program = vec![addi(1, 1), addi(2, 2), ebreak()];
         let mut corpus = Corpus::new(2);
-        corpus.save(seed_program.clone(), 0x22);
+        corpus.add(seed_program.clone(), 0x22, 0);
         let mut generator = generator();
         let changed = (0..32)
             .filter_map(|_| corpus.mutate(&mut generator))

@@ -76,6 +76,40 @@ impl CoverageMap {
         self.trap_sets.extend(&other.trap_sets);
         self.observations += other.observations;
     }
+
+    /// The observed trace digests in sorted order — the deterministic
+    /// iteration persistence needs (hash-set order varies run to run).
+    #[must_use]
+    pub fn digests_sorted(&self) -> Vec<u64> {
+        let mut digests: Vec<u64> = self.seen.iter().copied().collect();
+        digests.sort_unstable();
+        digests
+    }
+
+    /// The observed trap-cause sets in sorted order.
+    #[must_use]
+    pub fn trap_sets_sorted(&self) -> Vec<u64> {
+        let mut sets: Vec<u64> = self.trap_sets.iter().copied().collect();
+        sets.sort_unstable();
+        sets
+    }
+
+    /// Mark a trace digest as already covered without counting an
+    /// observation — how checkpoint restore and corpus priming pre-load
+    /// coverage that was earned in an earlier run.
+    pub fn admit(&mut self, trace_digest: u64) {
+        self.seen.insert(trace_digest);
+    }
+
+    /// Mark a trap-cause set as already covered (no observation counted).
+    pub fn admit_trap_set(&mut self, trap_causes: u64) {
+        self.trap_sets.insert(trap_causes);
+    }
+
+    /// Overwrite the observation counter — checkpoint restore only.
+    pub fn set_observations(&mut self, observations: u64) {
+        self.observations = observations;
+    }
 }
 
 #[cfg(test)]

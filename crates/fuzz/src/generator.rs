@@ -82,6 +82,24 @@ impl ProgramGenerator {
         self.library.config()
     }
 
+    /// The generator's two RNG stream positions: its own decision stream
+    /// and the instruction library's sampling stream. Campaign
+    /// checkpoints persist both so a resumed run generates the exact
+    /// program sequence an uninterrupted run would have.
+    #[must_use]
+    pub fn rng_states(&self) -> (u64, u64) {
+        (self.rng.state(), self.library.rng_state())
+    }
+
+    /// Restore stream positions captured by
+    /// [`rng_states`](Self::rng_states). The live-register window is not
+    /// part of the checkpoint: [`generate`](Self::generate) clears it at
+    /// the top of every program, so it carries no state across programs.
+    pub fn set_rng_states(&mut self, own: u64, library: u64) {
+        self.rng.set_state(own);
+        self.library.set_rng_state(library);
+    }
+
     /// Sample one instruction from the underlying library, domesticated
     /// like a generated slot (used by corpus mutation, so mutants keep
     /// the recoverable-program discipline). `None` when the library is

@@ -21,9 +21,20 @@
 //!   single seed and reported through [`CampaignReport`].
 //! * [`run_sharded`] — one instruction budget split across worker threads:
 //!   every worker runs its own seed-disjoint, individually deterministic
-//!   [`Campaign`], and the per-worker reports and coverage maps are merged
-//!   (divergences deduplicated by [`Divergence::fingerprint`]) into a
+//!   [`Campaign`], and the per-worker reports, coverage maps *and corpora*
+//!   are merged (divergences deduplicated by [`Divergence::fingerprint`],
+//!   corpus entries by [`SeedEntry::coverage_key`]) into a
 //!   [`ShardedReport`] with aggregate steps/sec.
+//! * [`persist`] — the versioned on-disk corpus format: seed entries plus
+//!   an optional [`CampaignCheckpoint`](persist::CampaignCheckpoint), with
+//!   a header that pins the format version and the
+//!   [`digest stability fingerprint`](tf_arch::digest::STABILITY_FINGERPRINT)
+//!   so stale corpora are rejected, per-record checksums so corrupt
+//!   entries are skipped, and atomic writes. [`Corpus::save`],
+//!   [`Corpus::load`], [`Campaign::checkpoint`] and [`Campaign::restore`]
+//!   are the high-level doors; together they make campaigns resumable
+//!   (`tf-cli fuzz --corpus C --resume` is bit-identical to an
+//!   uninterrupted run) and corpora shareable between runs.
 //!
 //! # Example
 //!
@@ -58,12 +69,15 @@ mod corpus;
 mod coverage;
 mod diff;
 mod generator;
+pub mod persist;
 mod rng;
 mod shard;
 
-pub use campaign::{Campaign, CampaignConfig, CampaignReport};
+pub use campaign::{Campaign, CampaignConfig, CampaignReport, RestoreError};
 pub use corpus::{minimize, Corpus, SeedEntry};
 pub use coverage::CoverageMap;
 pub use diff::{DiffEngine, DiffVerdict, Divergence};
 pub use generator::{GeneratorConfig, ProgramGenerator};
-pub use shard::{run_sharded, shard_config, worker_seed, ShardedReport, WorkerReport};
+pub use shard::{
+    run_sharded, run_sharded_seeded, shard_config, worker_seed, ShardedReport, WorkerReport,
+};

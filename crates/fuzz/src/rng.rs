@@ -17,6 +17,20 @@ impl SplitMix64 {
         SplitMix64 { state: seed }
     }
 
+    /// The current stream position. Together with [`set_state`] this lets
+    /// campaign checkpoints freeze and resume every decision stream
+    /// bit-exactly.
+    ///
+    /// [`set_state`]: SplitMix64::set_state
+    pub(crate) fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Restore a stream position captured by [`SplitMix64::state`].
+    pub(crate) fn set_state(&mut self, state: u64) {
+        self.state = state;
+    }
+
     pub(crate) fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;

@@ -16,6 +16,7 @@ use std::time::{Duration, Instant};
 use tf_arch::Dut;
 
 use crate::campaign::{Campaign, CampaignConfig, CampaignReport};
+use crate::corpus::{Corpus, SeedEntry};
 use crate::coverage::CoverageMap;
 use crate::rng::SplitMix64;
 
@@ -79,6 +80,11 @@ pub struct ShardedReport {
     pub workers: Vec<WorkerReport>,
     /// The union of every worker's coverage.
     pub coverage: CoverageMap,
+    /// Every worker's corpus folded together in worker order, deduped by
+    /// [`SeedEntry::coverage_key`] — the seeds a persistent campaign
+    /// saves so later runs can cross-pollinate. (Workers used to discard
+    /// these after the merge.)
+    pub corpus: Vec<SeedEntry>,
     /// Wall-clock time of the parallel section.
     pub elapsed: Duration,
 }
@@ -139,18 +145,41 @@ where
     D: Dut,
     F: Fn(usize) -> D + Send + Sync,
 {
+    run_sharded_seeded(config, jobs, &[], dut_factory)
+}
+
+/// [`run_sharded`] with cross-run seed material: every worker is primed
+/// with `seeds` ([`Campaign::prime`]) before it runs, so corpora saved by
+/// earlier campaigns guide all workers of this one. An empty slice is
+/// exactly `run_sharded`.
+///
+/// # Panics
+///
+/// Panics when `jobs` is zero or a worker thread panics.
+pub fn run_sharded_seeded<D, F>(
+    config: &CampaignConfig,
+    jobs: usize,
+    seeds: &[SeedEntry],
+    dut_factory: F,
+) -> ShardedReport
+where
+    D: Dut,
+    F: Fn(usize) -> D + Send + Sync,
+{
     assert!(jobs >= 1, "a sharded campaign needs at least one worker");
     let start = Instant::now();
-    let results: Vec<(CampaignReport, CoverageMap)> = std::thread::scope(|scope| {
+    let results: Vec<(CampaignReport, CoverageMap, Vec<SeedEntry>)> = std::thread::scope(|scope| {
         let factory = &dut_factory;
         let handles: Vec<_> = (0..jobs)
             .map(|worker| {
                 let worker_config = shard_config(config, jobs, worker);
                 scope.spawn(move || {
                     let mut campaign = Campaign::new(worker_config);
+                    campaign.prime(seeds);
                     let mut dut = factory(worker);
                     let report = campaign.run(&mut dut);
-                    (report, campaign.coverage().clone())
+                    let coverage = campaign.coverage().clone();
+                    (report, coverage, campaign.into_corpus().into_entries())
                 })
             })
             .collect();
@@ -162,10 +191,12 @@ where
     let elapsed = start.elapsed();
 
     let mut coverage = CoverageMap::new();
+    let mut corpus = Corpus::new(config.seed);
     let mut merged = CampaignReport::default();
     let mut workers = Vec::with_capacity(jobs);
-    for (worker, (report, worker_coverage)) in results.into_iter().enumerate() {
+    for (worker, (report, worker_coverage, entries)) in results.into_iter().enumerate() {
         coverage.merge(&worker_coverage);
+        corpus.merge_entries(&entries);
         if jobs == 1 {
             // One worker: the merged view is that worker's report,
             // verbatim — including any same-fingerprint repeats it chose
@@ -181,12 +212,17 @@ where
         });
     }
     // Replace the summed per-worker counters with the deduplicated union.
+    // Within one worker no two entries share a coverage-key pair, so for
+    // jobs == 1 the deduped corpus is the worker's corpus verbatim and
+    // the bit-identity guarantee holds here too.
     merged.unique_traces = coverage.unique();
     merged.unique_trap_sets = coverage.unique_trap_sets();
+    merged.corpus_size = corpus.len();
     ShardedReport {
         merged,
         workers,
         coverage,
+        corpus: corpus.into_entries(),
         elapsed,
     }
 }

@@ -1,0 +1,228 @@
+//! Persistence-format validation: property-style round trips over
+//! realistic generated programs, header rejection, salvage behaviour,
+//! and the save → load → resume pipeline end to end.
+
+use std::path::PathBuf;
+
+use tf_arch::Hart;
+use tf_fuzz::persist::{self, PersistError};
+use tf_fuzz::{Campaign, CampaignConfig, Corpus, ProgramGenerator, RestoreError, SeedEntry};
+use tf_riscv::{InstructionLibrary, LibraryConfig};
+
+const MEM: u64 = 1 << 16;
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tf-persist-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn config(seed: u64, budget: u64) -> CampaignConfig {
+    CampaignConfig {
+        seed,
+        instruction_budget: budget,
+        mem_size: MEM,
+        ..CampaignConfig::default()
+    }
+}
+
+/// Property: any corpus of generator-produced programs round-trips
+/// through the on-disk format exactly — words, digests and trap sets.
+/// The generator samples the full IMAFD+Zicsr library, so this sweeps
+/// every encodable instruction class the fuzzer can emit.
+#[test]
+fn generated_corpora_round_trip_exactly() {
+    for seed in 0..8 {
+        let library = InstructionLibrary::new(LibraryConfig::all(), seed);
+        let mut generator = ProgramGenerator::new(library, seed);
+        let mut corpus = Corpus::new(seed);
+        for i in 0..32 {
+            let program = generator.generate(3 + (i % 29));
+            corpus.add(program, seed.wrapping_mul(31) ^ i as u64, i as u64 & 0xFF);
+        }
+        let path = temp_path(&format!("roundtrip-{seed}.tfc"));
+        corpus.save(&path).unwrap();
+        let (loaded, report) = Corpus::load(&path, seed).unwrap();
+        assert_eq!(loaded.entries(), corpus.entries(), "seed {seed}");
+        assert_eq!(report.loaded, 32);
+        assert_eq!(report.skipped, 0);
+        assert!(!report.truncated);
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
+#[test]
+fn header_rejection_is_loud_not_silent() {
+    let path = temp_path("rejection.tfc");
+    let corpus = Corpus::new(1);
+    corpus.save(&path).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+
+    // Version drift.
+    bytes[8] = 99;
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(matches!(
+        Corpus::load(&path, 1),
+        Err(PersistError::UnsupportedVersion { found: 99 })
+    ));
+
+    // Digest-scheme drift.
+    bytes[8] = persist::FORMAT_VERSION as u8;
+    bytes[12] ^= 0xA5;
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(matches!(
+        Corpus::load(&path, 1),
+        Err(PersistError::FingerprintMismatch { .. })
+    ));
+
+    // Not a corpus at all.
+    std::fs::write(&path, b"definitely not a corpus file").unwrap();
+    assert!(matches!(
+        Corpus::load(&path, 1),
+        Err(PersistError::BadMagic)
+    ));
+
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn truncation_and_corruption_salvage_the_rest() {
+    let library = InstructionLibrary::new(LibraryConfig::all(), 9);
+    let mut generator = ProgramGenerator::new(library, 9);
+    let mut corpus = Corpus::new(9);
+    for i in 0..10 {
+        corpus.add(generator.generate(8), i, 0);
+    }
+    let path = temp_path("salvage.tfc");
+    corpus.save(&path).unwrap();
+    let pristine = std::fs::read(&path).unwrap();
+
+    // Chop the file mid-record: a prefix of entries survives.
+    std::fs::write(&path, &pristine[..pristine.len() - 17]).unwrap();
+    let (loaded, report) = Corpus::load(&path, 9).unwrap();
+    assert!(report.truncated);
+    assert_eq!(loaded.len(), report.loaded);
+    assert!(report.loaded >= 8, "only the cut tail may be lost");
+    assert_eq!(
+        loaded.entries(),
+        &corpus.entries()[..loaded.len()],
+        "surviving prefix is intact"
+    );
+
+    // Flip a byte mid-file: a payload hit loses exactly that record and
+    // the stream continues; a frame-header hit fail-stops with the
+    // prefix salvaged. Either way, most records survive and none are
+    // invented.
+    let mut corrupt = pristine.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0xFF;
+    std::fs::write(&path, &corrupt).unwrap();
+    let (loaded, report) = Corpus::load(&path, 9).unwrap();
+    assert!(report.skipped >= 1 || report.truncated);
+    assert!(report.loaded >= 4, "at least the prefix must be salvaged");
+    assert!(report.loaded + report.skipped <= 10);
+    for entry in loaded.entries() {
+        assert!(corpus.entries().contains(entry), "no invented entries");
+    }
+
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// The full pipeline the CLI drives: a campaign saved mid-budget, loaded
+/// back, restored, and resumed must land on the identical report an
+/// uninterrupted campaign produces — through the *file*, not just
+/// in-memory checkpoints.
+#[test]
+fn resume_through_the_file_is_bit_identical() {
+    let full_budget = 4_000;
+    let mut uninterrupted = Campaign::new(config(0xF00D, full_budget));
+    let mut dut = Hart::new(MEM);
+    let want = uninterrupted.run(&mut dut);
+
+    // First half, frozen to disk.
+    let mut first = Campaign::new(config(0xF00D, full_budget / 2));
+    let mut dut = Hart::new(MEM);
+    let half_report = first.run(&mut dut);
+    let path = temp_path("resume.tfc");
+    persist::save_campaign(
+        &path,
+        first.corpus().entries(),
+        &first.checkpoint(&half_report),
+    )
+    .unwrap();
+
+    // Second half, thawed from disk.
+    let loaded = persist::load_file(&path).unwrap();
+    let checkpoint = loaded.checkpoint.expect("checkpoint was saved");
+    assert_eq!(
+        checkpoint,
+        first.checkpoint(&half_report),
+        "the checkpoint must round-trip through the file exactly"
+    );
+    let mut second =
+        Campaign::restore(config(0xF00D, full_budget), &checkpoint, &loaded.entries).unwrap();
+    let mut dut = Hart::new(MEM);
+    let got = second.resume(&mut dut, checkpoint.report.clone());
+
+    assert_eq!(got, want, "file-mediated resume must be bit-identical");
+    assert_eq!(second.corpus().entries(), uninterrupted.corpus().entries());
+
+    // A mismatched config is rejected at restore, not discovered later.
+    let loaded = persist::load_file(&path).unwrap();
+    let checkpoint = loaded.checkpoint.unwrap();
+    assert!(matches!(
+        Campaign::restore(
+            CampaignConfig {
+                program_len: 16,
+                ..config(0xF00D, full_budget)
+            },
+            &checkpoint,
+            &loaded.entries,
+        ),
+        Err(RestoreError::ConfigMismatch { .. })
+    ));
+
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn merge_entries_dedups_by_coverage_key() {
+    let entry = |digest: u64, traps: u64| SeedEntry {
+        program: vec![tf_riscv::Instruction::nop()],
+        trace_digest: digest,
+        trap_causes: traps,
+    };
+    let mut corpus = Corpus::new(0);
+    assert_eq!(corpus.merge_entries(&[entry(1, 0), entry(2, 0)]), 2);
+    // Same digest with a new trap set is new coverage; exact repeats are
+    // not.
+    assert_eq!(
+        corpus.merge_entries(&[entry(1, 0), entry(1, 8), entry(2, 0)]),
+        1
+    );
+    assert_eq!(corpus.len(), 3);
+}
+
+/// Saved corpora actually steer later campaigns: a campaign primed from
+/// another run's file starts from its coverage instead of rediscovering
+/// it.
+#[test]
+fn cross_run_seeding_carries_coverage_forward() {
+    let mut donor = Campaign::new(config(21, 2_000));
+    let mut dut = Hart::new(MEM);
+    let donor_report = donor.run(&mut dut);
+    let path = temp_path("cross-run.tfc");
+    donor.corpus().save(&path).unwrap();
+
+    let (loaded, _) = Corpus::load(&path, 0).unwrap();
+    let mut receiver = Campaign::new(config(22, 2_000));
+    let admitted = receiver.prime(loaded.entries());
+    assert_eq!(admitted, donor_report.corpus_size);
+    let mut dut = Hart::new(MEM);
+    let report = receiver.run(&mut dut);
+    assert!(
+        report.unique_traces > donor_report.unique_traces,
+        "the receiving campaign builds on the donor's coverage"
+    );
+    std::fs::remove_file(&path).unwrap();
+}

@@ -1,8 +1,14 @@
 //! Sharded-campaign integration tests: merge algebra, fingerprint
-//! deduplication, per-worker determinism and the jobs=1 identity.
+//! deduplication, per-worker determinism, the jobs=1 identity, and the
+//! worker-corpus merge that feeds corpus persistence.
+
+use std::collections::HashSet;
 
 use tf_arch::{BugScenario, Hart, MutantHart};
-use tf_fuzz::{run_sharded, shard_config, Campaign, CampaignConfig, CampaignReport};
+use tf_fuzz::{
+    run_sharded, run_sharded_seeded, shard_config, Campaign, CampaignConfig, CampaignReport,
+    SeedEntry,
+};
 
 const MEM: u64 = 1 << 16;
 
@@ -152,6 +158,53 @@ fn sharded_mutant_campaign_detects_and_deduplicates_the_bug() {
     let summed: usize = sharded.workers.iter().map(|w| w.report.unique_traces).sum();
     assert!(sharded.merged.unique_traces <= summed);
     assert!(sharded.merged.unique_traces > 0);
+}
+
+#[test]
+fn worker_corpora_are_merged_into_the_report_not_dropped() {
+    let config = config(5, 6_000);
+    let sharded = run_sharded(&config, 3, |_| Hart::new(MEM));
+    assert!(
+        !sharded.corpus.is_empty(),
+        "worker corpora must survive the merge"
+    );
+    // The merged corpus is deduped by coverage key and its size is what
+    // the merged report advertises.
+    let keys: HashSet<(u64, u64)> = sharded.corpus.iter().map(SeedEntry::coverage_key).collect();
+    assert_eq!(keys.len(), sharded.corpus.len(), "duplicate keys survived");
+    assert_eq!(sharded.merged.corpus_size, sharded.corpus.len());
+    // Every entry came from some worker; the union covers every worker's
+    // coverage-earning traces.
+    let summed: usize = sharded.workers.iter().map(|w| w.report.corpus_size).sum();
+    assert!(sharded.corpus.len() <= summed);
+    // With jobs=1 the merged corpus is exactly the single campaign's.
+    let single_shard = run_sharded(&config, 1, |_| Hart::new(MEM));
+    let mut dut = Hart::new(MEM);
+    let mut campaign = Campaign::new(config);
+    campaign.run(&mut dut);
+    assert_eq!(single_shard.corpus, campaign.corpus().entries());
+}
+
+#[test]
+fn seeded_sharded_runs_build_on_donor_corpora() {
+    let donor = run_sharded(&config(31, 3_000), 2, |_| Hart::new(MEM));
+    let receiver = run_sharded_seeded(&config(32, 3_000), 2, &donor.corpus, |_| Hart::new(MEM));
+    assert!(
+        receiver.merged.unique_traces > donor.merged.unique_traces,
+        "seeding must carry the donor's coverage forward"
+    );
+    // Donor seeds are admitted into the receiver's merged corpus.
+    let receiver_keys: HashSet<(u64, u64)> = receiver
+        .corpus
+        .iter()
+        .map(SeedEntry::coverage_key)
+        .collect();
+    for entry in &donor.corpus {
+        assert!(
+            receiver_keys.contains(&entry.coverage_key()),
+            "donor seed lost in the seeded run"
+        );
+    }
 }
 
 #[test]

@@ -149,6 +149,24 @@ impl InstructionLibrary {
         self.rebuild();
     }
 
+    /// The current state of the sampling RNG.
+    ///
+    /// A library is a pure function of its configuration and this value:
+    /// capturing it mid-stream and later rebuilding a library with the
+    /// same configuration and [`set_rng_state`](Self::set_rng_state)
+    /// resumes the exact sample sequence. Fuzzing-campaign checkpoints
+    /// persist it so a resumed campaign replays bit-identically.
+    #[must_use]
+    pub fn rng_state(&self) -> u64 {
+        self.state
+    }
+
+    /// Restore the sampling RNG to a state captured by
+    /// [`rng_state`](Self::rng_state).
+    pub fn set_rng_state(&mut self, state: u64) {
+        self.state = state;
+    }
+
     /// Activate an extension at run time.
     pub fn activate_extension(&mut self, ext: Extension) {
         self.config.activate_extension(ext);
