@@ -22,7 +22,7 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use tf_arch::Hart;
-use tf_fuzz::{run_sharded, CampaignConfig, DiffEngine, DiffVerdict};
+use tf_fuzz::{run_sharded, CampaignConfig, DiffConfig, DiffEngine, DiffVerdict, DEFAULT_WINDOW};
 use tf_riscv::{Instruction, InstructionLibrary, LibraryConfig, Opcode};
 
 const MEM_SIZE: u64 = 1 << 20;
@@ -37,10 +37,16 @@ fn chaos_program(len: usize) -> Vec<Instruction> {
     program
 }
 
-/// Median ns per lockstep step of reference-vs-reference diffing.
-fn bench_diff(samples: usize, max_steps: u64) -> f64 {
+/// Median ns per lockstep step of reference-vs-reference diffing at the
+/// given window. Window 1 is the exhaustive per-step loop; the default
+/// window is the batched path campaigns actually run.
+fn bench_diff(samples: usize, max_steps: u64, window: u64) -> f64 {
     let program = chaos_program(2_048);
-    let engine = DiffEngine::new(0, max_steps);
+    let engine = DiffEngine::new(
+        DiffConfig::default()
+            .with_max_steps(max_steps)
+            .with_window(window),
+    );
     let mut reference = Hart::new(MEM_SIZE);
     let mut dut = Hart::new(MEM_SIZE);
     let mut run_once = || {
@@ -59,7 +65,7 @@ fn bench_diff(samples: usize, max_steps: u64) -> f64 {
     per_step.sort_by(f64::total_cmp);
     let median = per_step[per_step.len() / 2];
     println!(
-        "diff     {median:8.1} ns/lockstep-step  (min {:.1}, max {:.1} over {} samples)",
+        "diff-w{window:<3} {median:8.1} ns/lockstep-step  (min {:.1}, max {:.1} over {} samples)",
         per_step[0],
         per_step[per_step.len() - 1],
         per_step.len(),
@@ -102,12 +108,10 @@ fn bench_digest_resident(pages: u64, iters: u32) -> (f64, f64) {
 
 /// Aggregate steps/sec of a whole campaign sharded over `jobs` workers.
 fn bench_campaign(jobs: usize, budget: u64) -> f64 {
-    let config = CampaignConfig {
-        seed: 0xBE9C,
-        instruction_budget: budget,
-        mem_size: 1 << 16,
-        ..CampaignConfig::default()
-    };
+    let config = CampaignConfig::default()
+        .with_seed(0xBE9C)
+        .with_instruction_budget(budget)
+        .with_mem_size(1 << 16);
     let sharded = run_sharded(&config, jobs, |_| Hart::new(1 << 16));
     assert!(sharded.merged.is_clean(), "reference campaign diverged");
     let throughput = sharded.steps_per_sec();
@@ -122,20 +126,27 @@ fn bench_campaign(jobs: usize, budget: u64) -> f64 {
 
 fn main() {
     let smoke = json::smoke();
+    // Smoke keeps the sample count and campaign budget small but the
+    // lockstep step budget full-size: per-run reset/load overhead (~1 ms
+    // for a 1 MiB hart) would otherwise swamp ns-per-step and make the
+    // CI regression ratio meaningless.
     let (samples, max_steps, budget) = if smoke {
-        (2, 2_000, 2_000)
+        (3, 100_000, 2_000)
     } else {
         (15, 100_000, 200_000)
     };
     let iters = if smoke { 10 } else { 2_000 };
     println!("tf_arch lockstep differential throughput (DiffEngine over Dut)");
-    let diff = bench_diff(samples, max_steps);
+    let diff = bench_diff(samples, max_steps, 1);
+    let windowed = bench_diff(samples, max_steps, DEFAULT_WINDOW);
     let (digest_small, _) = bench_digest_resident(8, iters);
     let (digest_large, rescan_large) = bench_digest_resident(512, iters);
     let jobs1 = bench_campaign(1, budget);
     let jobsn = bench_campaign(JOBS, budget);
     json::update(&[
         ("diff_ns_per_step", diff),
+        // The batched path campaigns run by default (window = 16).
+        ("lockstep_windowed", windowed),
         ("digest_ns_resident8", digest_small),
         ("digest_ns_resident512", digest_large),
         ("digest_rescan_ns_resident512", rescan_large),

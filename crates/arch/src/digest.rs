@@ -8,16 +8,26 @@
 //! test below pins the constants.
 
 /// Stability fingerprint of the digest scheme: the [`Fnv`] hash of the
-/// byte string `"turbofuzz"`.
+/// byte string `"turbofuzz-digest-v2"`.
 ///
 /// Persistent artifacts that embed digests — on-disk fuzzing corpora
 /// above all — record this value in their header. A reader whose own
 /// hasher produces a different fingerprint must reject the file: its
-/// stored trace digests were minted under a different hash function and
-/// would silently mis-replay as coverage. The regression test below ties
-/// the constant to the live hasher, so any change to the FNV constants
+/// stored digests were minted under a different scheme and would
+/// silently mis-replay as coverage. The regression test below ties the
+/// constant to the live hasher, so any change to the FNV constants
 /// shows up as both a failing test and a changed fingerprint.
-pub const STABILITY_FINGERPRINT: u64 = 0x2450_D8E2_0861_381A;
+///
+/// The suffix names the digest-scheme generation and moves *only* on a
+/// deliberate scheme change, together with the corpus format version
+/// (`tf_fuzz::persist::FORMAT_VERSION`):
+///
+/// * `v1` (`"turbofuzz"`, `0x2450_D8E2_0861_381A`) — byte-at-a-time
+///   FNV-1a over the full register file and memory pages.
+/// * `v2` — architectural state digested as an XOR of per-slot
+///   [`WideFnv`] hashes (so a sample costs only the registers written
+///   since the last one) and memory pages folded a word at a time.
+pub const STABILITY_FINGERPRINT: u64 = 0xC15E_8971_720F_8F70;
 
 /// Incremental FNV-1a (64-bit) hasher.
 ///
@@ -62,22 +72,82 @@ impl Default for Fnv {
     }
 }
 
+/// FNV-1a variant that folds one little-endian 64-bit word per round
+/// instead of one byte, for bulk state hashing where the byte loop's
+/// serial multiply chain dominates (a 4 KiB page costs 512 rounds
+/// instead of 4096).
+///
+/// Same offset basis and prime as [`Fnv`], but the two hashers are *not*
+/// interchangeable: `WideFnv` over `[w]` differs from `Fnv` over
+/// `w.to_le_bytes()`. Like [`Fnv`] it must stay stable across Rust
+/// versions, processes and machines; the regression test below pins it.
+#[derive(Debug, Clone)]
+pub struct WideFnv(u64);
+
+impl WideFnv {
+    /// A hasher at the FNV-1a offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        WideFnv(Fnv::OFFSET)
+    }
+
+    /// Absorb one 64-bit word in a single xor-multiply round.
+    pub fn write_u64(&mut self, value: u64) {
+        self.0 = (self.0 ^ value).wrapping_mul(Fnv::PRIME);
+    }
+
+    /// The current 64-bit digest. The hasher can keep absorbing after.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for WideFnv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn fnv_is_stable() {
+        // Reference values computed independently; guards against silent
+        // constant drift, which would invalidate stored corpus digests.
         let mut fnv = Fnv::new();
         fnv.write_bytes(b"turbofuzz");
-        // Reference value computed independently; guards against silent
-        // constant drift, which would invalidate stored corpus digests.
         assert_eq!(fnv.finish(), 0x2450_D8E2_0861_381A);
+        let mut fnv = Fnv::new();
+        fnv.write_bytes(b"turbofuzz-digest-v2");
         assert_eq!(
             fnv.finish(),
             STABILITY_FINGERPRINT,
             "the published stability fingerprint must match the live hasher"
         );
+    }
+
+    #[test]
+    fn wide_fnv_is_stable_and_distinct_from_byte_fnv() {
+        // Reference values computed independently.
+        assert_eq!(WideFnv::new().finish(), 0xCBF2_9CE4_8422_2325);
+        let mut w = WideFnv::new();
+        w.write_u64(0);
+        assert_eq!(w.finish(), 0xAF63_BD4C_8601_B7DF);
+        let mut w = WideFnv::new();
+        w.write_u64(1);
+        w.write_u64(2);
+        assert_eq!(w.finish(), 0x082F_2407_B4E8_902A);
+        // One word per round, not one byte per round: the two hashers
+        // must never be mixed up by callers.
+        let mut wide = WideFnv::new();
+        wide.write_u64(0xDEAD_BEEF);
+        let mut byte = Fnv::new();
+        byte.write_u64(0xDEAD_BEEF);
+        assert_eq!(wide.finish(), 0x1CDE_6205_E209_1E3E);
+        assert_ne!(wide.finish(), byte.finish());
     }
 
     #[test]

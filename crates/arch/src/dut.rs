@@ -12,9 +12,58 @@
 
 use tf_riscv::Instruction;
 
+use crate::digest::Fnv;
 use crate::hart::{Hart, RunExit};
 use crate::trace::{ExecutionTrace, StepOutcome};
 use crate::trap::Trap;
+
+/// What one batched [`Dut::run`] produced: how the run ended plus the
+/// digest samples taken along the way.
+///
+/// Two devices executed the same program equivalently — to the
+/// resolution of the sampling window — iff their outcomes compare
+/// equal: same step count, same exit, same trap-cause set and the same
+/// digest sample at every sample point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Steps executed, including a trapping final one.
+    pub steps: u64,
+    /// Why the run ended.
+    pub exit: RunExit,
+    /// Bitmask of privileged-spec trap-cause codes raised during the
+    /// run: bit `c` is set iff a trap with cause code `c` occurred.
+    pub trap_causes: u64,
+    /// Digest samples in step order: one at every `digest_every`-step
+    /// boundary plus, always, one after the final step (so the vector is
+    /// never empty and a trailing partial window is still checked). Each
+    /// sample is [`fold_sample`] of the state digest, the write history
+    /// and the retired instruction count at that point.
+    pub samples: Vec<u64>,
+}
+
+/// One digest sample of a batched run: the stable [`Fnv`] fold of the
+/// device's architectural digest, its cumulative write history and its
+/// run-local retired-instruction count.
+///
+/// The digest alone would leave a sampling blind spot: a divergence
+/// whose every architectural side effect cancels out again before the
+/// next sample point would compare equal there. The write history
+/// ([`Dut::write_history`]) closes it — a cumulative fold of the write
+/// *sequence* never reconverges once two devices first wrote
+/// differently, so any window containing a divergence yields a
+/// mismatching sample and is replayed exactly. The retired count is a
+/// cheap extra discriminator for backends whose `write_history` is the
+/// constant default. External backends implementing [`Dut::run`]
+/// directly must use this exact fold for their samples to compare
+/// against the reference's.
+#[must_use]
+pub fn fold_sample(digest: u64, history: u64, retired: u64) -> u64 {
+    let mut fnv = Fnv::new();
+    fnv.write_u64(digest);
+    fnv.write_u64(history);
+    fnv.write_u64(retired);
+    fnv.finish()
+}
 
 /// A device under test: anything that can execute RV64 programs and
 /// expose its architectural state for differential comparison.
@@ -24,9 +73,13 @@ use crate::trap::Trap;
 /// * [`Dut::step`] must be total — abnormal conditions surface as
 ///   [`StepOutcome::Trapped`], never as panics.
 /// * [`Dut::digest`] must be a deterministic function of architectural
-///   state (registers, CSRs and memory), computed with the stable
-///   [`Fnv`](crate::digest::Fnv) hash so fingerprints can be compared
-///   across processes and recorded in corpora.
+///   state (registers, CSRs and memory), computed with the stable scheme
+///   pinned by [`STABILITY_FINGERPRINT`](crate::digest::STABILITY_FINGERPRINT)
+///   so fingerprints can be compared across processes and recorded in
+///   corpora.
+/// * [`Dut::run`] executes a whole batch with digests sampled every `k`
+///   steps — the windowed differential loop's contract — and has a
+///   default implementation in terms of [`Dut::step`].
 /// * Tracing is opt-in: campaigns that only need end-state digests skip
 ///   the per-step storage.
 pub trait Dut {
@@ -54,6 +107,18 @@ pub trait Dut {
     /// their digests agree.
     fn digest(&self) -> u64;
 
+    /// Cumulative fingerprint of the *sequence* of architectural writes
+    /// since reset — the path-sensitive companion of [`Dut::digest`]
+    /// that batched sampling folds into every sample (see
+    /// [`fold_sample`]). The default returns a constant: correct for
+    /// any backend, but every window diffed against a history-bearing
+    /// reference then mismatches and is replayed step by step, costing
+    /// the windowed speedup. Backends that want the speedup implement
+    /// it as a running fold over their writes, as [`Hart`] does.
+    fn write_history(&self) -> u64 {
+        0
+    }
+
     /// Start recording an [`ExecutionTrace`] (replacing any previous
     /// one).
     fn enable_tracing(&mut self);
@@ -61,21 +126,59 @@ pub trait Dut {
     /// Stop tracing and take the recorded trace.
     fn take_trace(&mut self) -> Option<ExecutionTrace>;
 
-    /// Step until an `ebreak`/`ecall` trap or until `max_steps` is
-    /// spent.
-    fn run(&mut self, max_steps: u64) -> RunExit {
-        for steps in 1..=max_steps {
-            match self.step() {
-                StepOutcome::Trapped(Trap::Breakpoint { .. }) => {
-                    return RunExit::Breakpoint { steps }
+    /// Execute a batch of up to `max_steps` steps, stopping early at an
+    /// `ebreak`/`ecall` trap, and sample the state digest every
+    /// `digest_every` steps (`0` disables interior samples; a final
+    /// sample is always taken after the last step).
+    ///
+    /// This is the contract windowed differential comparison drives: the
+    /// engine runs reference and DUT each as one batch and compares the
+    /// returned [`BatchOutcome`]s instead of digesting after every step.
+    /// The default implementation is in terms of [`Dut::step`] and
+    /// [`Dut::digest`], so any single-stepping backend gets batching for
+    /// free; backends that override it (subprocess DUTs batching their
+    /// IPC, for instance) must reproduce the exact sampling schedule —
+    /// interior samples at step numbers divisible by `digest_every`
+    /// (skipping a sample that would coincide with the final one), each
+    /// computed with [`fold_sample`] — or their outcomes will spuriously
+    /// mismatch the reference's.
+    fn run(&mut self, max_steps: u64, digest_every: u64) -> BatchOutcome {
+        let mut steps = 0;
+        let mut retired = 0;
+        let mut trap_causes = 0u64;
+        let mut exit = RunExit::OutOfGas;
+        let mut samples = Vec::new();
+        while steps < max_steps {
+            let outcome = self.step();
+            steps += 1;
+            match outcome {
+                StepOutcome::Retired(_) => retired += 1,
+                StepOutcome::Trapped(trap) => {
+                    trap_causes |= 1 << (trap.cause().code() & 63);
+                    match trap {
+                        Trap::Breakpoint { .. } => {
+                            exit = RunExit::Breakpoint { steps };
+                            break;
+                        }
+                        Trap::EnvironmentCall => {
+                            exit = RunExit::EnvironmentCall { steps };
+                            break;
+                        }
+                        _ => {}
+                    }
                 }
-                StepOutcome::Trapped(Trap::EnvironmentCall) => {
-                    return RunExit::EnvironmentCall { steps }
-                }
-                _ => {}
+            }
+            if digest_every != 0 && steps % digest_every == 0 && steps < max_steps {
+                samples.push(fold_sample(self.digest(), self.write_history(), retired));
             }
         }
-        RunExit::OutOfGas
+        samples.push(fold_sample(self.digest(), self.write_history(), retired));
+        BatchOutcome {
+            steps,
+            exit,
+            trap_causes,
+            samples,
+        }
     }
 }
 
@@ -98,6 +201,10 @@ impl Dut for Hart {
 
     fn digest(&self) -> u64 {
         Hart::digest(self)
+    }
+
+    fn write_history(&self) -> u64 {
+        Hart::write_history(self)
     }
 
     fn enable_tracing(&mut self) {
@@ -123,7 +230,9 @@ mod tests {
             Instruction::system(Opcode::Ebreak),
         ];
         dut.load(0, &program).unwrap();
-        assert_eq!(dut.run(10), RunExit::Breakpoint { steps: 2 });
+        let batch = dut.run(10, 0);
+        assert_eq!(batch.exit, RunExit::Breakpoint { steps: 2 });
+        assert_eq!(batch.steps, 2);
         assert_eq!(dut.name(), "hart");
     }
 
@@ -137,7 +246,7 @@ mod tests {
             Instruction::system(Opcode::Ebreak),
         ];
         Dut::load(&mut hart, 0, &program).unwrap();
-        Dut::run(&mut hart, 10);
+        Dut::run(&mut hart, 10, 0);
         assert_ne!(Dut::digest(&hart), baseline);
         Dut::reset(&mut hart);
         assert_eq!(Dut::digest(&hart), baseline);
@@ -150,6 +259,55 @@ mod tests {
         a.load_program(0, &program).unwrap();
         let mut b = Hart::new(1 << 16);
         b.load_program(0, &program).unwrap();
-        assert_eq!(a.run(10), Dut::run(&mut b, 10));
+        assert_eq!(a.run(10), Dut::run(&mut b, 10, 0).exit);
+    }
+
+    #[test]
+    fn batch_samples_follow_the_documented_schedule() {
+        let load = |hart: &mut Hart| {
+            let mut program =
+                vec![
+                    Instruction::i_type(Opcode::Addi, Gpr::new(1).unwrap(), Gpr::ZERO, 1).unwrap();
+                    6
+                ];
+            program.push(Instruction::system(Opcode::Ebreak));
+            hart.load_program(0, &program).unwrap();
+        };
+        // 7 steps with digest_every=2: interior samples after steps 2, 4
+        // and 6, plus the final sample after the trapping step 7.
+        let mut hart = Hart::new(1 << 16);
+        load(&mut hart);
+        let batch = Dut::run(&mut hart, 100, 2);
+        assert_eq!(batch.steps, 7);
+        assert_eq!(batch.exit, RunExit::Breakpoint { steps: 7 });
+        assert_eq!(batch.samples.len(), 4);
+        // The final sample is the documented fold of the end state; the
+        // breakpoint trap did not retire, so 6 instructions retired.
+        assert_eq!(
+            *batch.samples.last().unwrap(),
+            fold_sample(Dut::digest(&hart), Dut::write_history(&hart), 6)
+        );
+        // digest_every=0: exactly the one final sample, same end value.
+        let mut again = Hart::new(1 << 16);
+        load(&mut again);
+        let whole = Dut::run(&mut again, 100, 0);
+        assert_eq!(whole.samples.len(), 1);
+        assert_eq!(whole.samples[0], *batch.samples.last().unwrap());
+        assert_eq!(whole.trap_causes, batch.trap_causes);
+        // A sample boundary coinciding with the budget is not doubled:
+        // 4 steps of budget at digest_every=2 samples after step 2 and
+        // once more at the end.
+        let mut capped = Hart::new(1 << 16);
+        load(&mut capped);
+        let capped = Dut::run(&mut capped, 4, 2);
+        assert_eq!(capped.steps, 4);
+        assert_eq!(capped.exit, RunExit::OutOfGas);
+        assert_eq!(capped.samples.len(), 2);
+        // Equal devices running the same schedule compare equal.
+        let mut c = Hart::new(1 << 16);
+        let mut d = Hart::new(1 << 16);
+        load(&mut c);
+        load(&mut d);
+        assert_eq!(Dut::run(&mut c, 100, 2), Dut::run(&mut d, 100, 2));
     }
 }

@@ -3,7 +3,7 @@
 use tf_riscv::csr::{self, CsrAddr};
 use tf_riscv::{Fpr, Gpr, Instruction, Opcode, RoundingMode};
 
-use crate::digest::Fnv;
+use crate::digest::WideFnv;
 use crate::dut::Dut;
 use crate::fpu::{self, dp, sp};
 use crate::mem::Memory;
@@ -53,6 +53,14 @@ pub struct Hart {
     mem: Memory,
     reservation: Option<u64>,
     trace: Option<ExecutionTrace>,
+    // Pre-decoded program cache filled by `load_program`: entry `i`
+    // holds the word stored at `icache_base + 4*i` and its decode, so
+    // the fetch path skips the linear opcode scan. Every hit is
+    // validated against the word actually loaded from memory, which
+    // keeps self-modifying programs architecturally exact (a stale
+    // entry simply decodes the fresh word the slow way).
+    icache_base: u64,
+    icache: Vec<(u32, Option<Instruction>)>,
 }
 
 impl Hart {
@@ -64,6 +72,8 @@ impl Hart {
             mem: Memory::new(mem_size),
             reservation: None,
             trace: None,
+            icache_base: 0,
+            icache: Vec::new(),
         }
     }
 
@@ -123,6 +133,7 @@ impl Hart {
     /// ([`Instruction::encode_lossy`]) of the offending instruction in
     /// the type-invariant-excluded case that it fails to encode.
     pub fn load_program(&mut self, base: u64, program: &[Instruction]) -> Result<(), Trap> {
+        let mut icache = Vec::with_capacity(program.len());
         for (i, insn) in program.iter().enumerate() {
             let addr = base + 4 * i as u64;
             let word = insn.encode().map_err(|_| Trap::IllegalInstruction {
@@ -131,7 +142,15 @@ impl Hart {
             self.mem
                 .store_u32(addr, word)
                 .ok_or(Trap::StoreFault { addr })?;
+            // Cache the decode of the *stored word* (not the given
+            // instruction) so cached fetches are bit-identical to
+            // uncached ones even if encode/decode ever disagreed.
+            icache.push((word, Instruction::decode(word).ok()));
         }
+        // Only a fully loaded program replaces the cache; fetch-time word
+        // validation keeps any stale range harmless either way.
+        self.icache_base = base;
+        self.icache = icache;
         Ok(())
     }
 
@@ -139,9 +158,22 @@ impl Hart {
     /// differential coverage compares between reference and DUT.
     #[must_use]
     pub fn digest(&self) -> u64 {
-        let mut fnv = Fnv::new();
+        let mut fnv = WideFnv::new();
         fnv.write_u64(self.state.digest());
         fnv.write_u64(self.mem.digest());
+        fnv.finish()
+    }
+
+    /// Cumulative fold of every architectural write — registers, CSRs
+    /// and memory — since reset. The path-sensitive companion of
+    /// [`Hart::digest`]: equal digests say two devices *reached* the
+    /// same state, equal histories say they took the same sequence of
+    /// writes to get there (see [`ArchState::write_history`]).
+    #[must_use]
+    pub fn write_history(&self) -> u64 {
+        let mut fnv = WideFnv::new();
+        fnv.write_u64(self.state.write_history());
+        fnv.write_u64(self.mem.write_history());
         fnv.finish()
     }
 
@@ -193,7 +225,7 @@ impl Hart {
 
     /// Step until an `ebreak`/`ecall` trap or until `max_steps` is spent.
     pub fn run(&mut self, max_steps: u64) -> RunExit {
-        Dut::run(self, max_steps)
+        Dut::run(self, max_steps, 0).exit
     }
 
     fn execute_at(&mut self, pc: u64, word_out: &mut Option<u32>) -> Result<Instruction, Trap> {
@@ -205,9 +237,22 @@ impl Hart {
             .load_u32(pc)
             .ok_or(Trap::InstructionFault { addr: pc })?;
         *word_out = Some(word);
-        let insn = Instruction::decode(word).map_err(|_| Trap::IllegalInstruction { word })?;
+        let insn = match self.cached_decode(pc, word) {
+            Some(insn) => insn,
+            None => Instruction::decode(word).map_err(|_| Trap::IllegalInstruction { word })?,
+        };
         self.exec(insn, pc, word)?;
         Ok(insn)
+    }
+
+    /// The pre-decoded instruction for `pc`, provided the cache entry's
+    /// word matches what memory actually holds there.
+    fn cached_decode(&self, pc: u64, word: u32) -> Option<Instruction> {
+        let index = usize::try_from(pc.checked_sub(self.icache_base)? / 4).ok()?;
+        match self.icache.get(index) {
+            Some(&(cached_word, decoded)) if cached_word == word => decoded,
+            _ => None,
+        }
     }
 
     // ---- register helpers ----------------------------------------------

@@ -65,7 +65,7 @@ mod state;
 mod trace;
 mod trap;
 
-pub use dut::Dut;
+pub use dut::{fold_sample, BatchOutcome, Dut};
 pub use hart::{Hart, RunExit};
 pub use mem::{Memory, PAGE_SIZE};
 pub use mutant::{BugScenario, MutantHart};

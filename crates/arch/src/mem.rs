@@ -16,7 +16,7 @@
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 
-use crate::digest::Fnv;
+use crate::digest::WideFnv;
 
 /// Bytes per backing page.
 pub const PAGE_SIZE: u64 = 4096;
@@ -45,6 +45,9 @@ pub struct Memory {
     // while letting it refresh the cache; never borrowed across a call
     // boundary, so the RefCell cannot observably panic.
     cache: RefCell<DigestCache>,
+    // Cumulative fold of every store since construction (see
+    // [`Memory::write_history`]); bookkeeping, not state.
+    history: WideFnv,
 }
 
 impl Memory {
@@ -55,6 +58,7 @@ impl Memory {
             pages: BTreeMap::new(),
             size,
             cache: RefCell::new(DigestCache::default()),
+            history: WideFnv::new(),
         }
     }
 
@@ -115,6 +119,13 @@ impl Memory {
         }
         if N == 0 {
             return Some(());
+        }
+        self.history.write_u64(N as u64);
+        self.history.write_u64(addr);
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.history.write_u64(u64::from_le_bytes(word));
         }
         self.mark_dirty(addr, N as u64);
         let offset = (addr % PAGE_SIZE) as usize;
@@ -183,6 +194,18 @@ impl Memory {
         self.pages.len()
     }
 
+    /// Cumulative fold of every in-bounds store since construction:
+    /// width, address and data, in execution order. The memory slice of
+    /// the device write history (see
+    /// [`ArchState::write_history`](crate::ArchState::write_history) for
+    /// the rationale); unlike [`Memory::digest`] it fingerprints the
+    /// *sequence* of stores, so it never reconverges after two devices
+    /// first store differently.
+    #[must_use]
+    pub fn write_history(&self) -> u64 {
+        self.history.finish()
+    }
+
     /// Record that a `len`-byte in-bounds write starting at `addr` is
     /// about to land, so [`Memory::digest`] re-hashes only those pages.
     fn mark_dirty(&mut self, addr: u64, len: u64) {
@@ -194,16 +217,20 @@ impl Memory {
         }
     }
 
-    /// The FNV-1a content hash of one page.
+    /// The content hash of one page: [`WideFnv`] over its 512
+    /// little-endian 64-bit words, one xor-multiply round per word
+    /// instead of per byte (digest generation `v2`).
     fn page_hash(page: &[u8; PAGE_SIZE as usize]) -> u64 {
-        let mut fnv = Fnv::new();
-        fnv.write_bytes(&page[..]);
+        let mut fnv = WideFnv::new();
+        for chunk in page.chunks_exact(8) {
+            fnv.write_u64(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
         fnv.finish()
     }
 
-    /// Deterministic FNV-1a digest over every dirtied page (index and
-    /// content hash, folded in ascending page order). Untouched pages read
-    /// as zero and an all-zero dirtied page hashes like an untouched one,
+    /// Deterministic digest over every dirtied page (index and content
+    /// hash, folded in ascending page order). Untouched pages read as
+    /// zero and an all-zero dirtied page hashes like an untouched one,
     /// so logically equal memories digest equally.
     ///
     /// The digest is incremental: only pages written since the previous
@@ -225,7 +252,7 @@ impl Memory {
                 }
             }
         }
-        let mut fnv = Fnv::new();
+        let mut fnv = WideFnv::new();
         fnv.write_u64(self.size);
         for (index, hash) in &cache.page_hashes {
             fnv.write_u64(*index);
@@ -246,7 +273,7 @@ impl Memory {
     /// debug assertions.
     #[must_use]
     pub fn digest_from_scratch(&self) -> u64 {
-        let mut fnv = Fnv::new();
+        let mut fnv = WideFnv::new();
         fnv.write_u64(self.size);
         for (index, page) in &self.pages {
             if page.iter().all(|&b| b == 0) {

@@ -286,6 +286,12 @@ impl Dut for MutantHart {
         self.hart.digest()
     }
 
+    fn write_history(&self) -> u64 {
+        // The wrapped hart's history already includes every extra write
+        // a fired scenario performed through `state_mut`.
+        self.hart.write_history()
+    }
+
     fn enable_tracing(&mut self) {
         self.hart.enable_tracing();
     }
@@ -353,7 +359,7 @@ mod tests {
         let mut mutant = MutantHart::new(1 << 16, BugScenario::B2ReservedRounding);
         mutant.load(0, &program).unwrap();
         reference.run(10);
-        Dut::run(&mut mutant, 10);
+        Dut::run(&mut mutant, 10, 0);
         assert_eq!(Dut::digest(&mutant), reference.digest());
     }
 
@@ -388,7 +394,7 @@ mod tests {
         let mut mutant = MutantHart::new(1 << 16, BugScenario::OffByOneImmediate);
         mutant.load(0, &program).unwrap();
         reference.run(10);
-        Dut::run(&mut mutant, 10);
+        Dut::run(&mut mutant, 10, 0);
         // `add` is untouched and the x0-destination addi stays discarded.
         assert_eq!(Dut::digest(&mutant), reference.digest());
     }
@@ -413,7 +419,7 @@ mod tests {
         mutant.load(0, &program).unwrap();
         setup(&mut mutant.hart);
         reference.run(10);
-        Dut::run(&mut mutant, 10);
+        Dut::run(&mut mutant, 10, 0);
         assert_eq!(
             reference.state().csrs().read(csr::FFLAGS),
             Some(csr::fflags::NX)
@@ -436,7 +442,7 @@ mod tests {
         let mut mutant = MutantHart::new(1 << 16, BugScenario::CsrWriteMask);
         mutant.load(0, &program).unwrap();
         reference.run(10);
-        Dut::run(&mut mutant, 10);
+        Dut::run(&mut mutant, 10, 0);
         assert_eq!(reference.state().csrs().read(csr::FFLAGS), Some(0x1F));
         assert_eq!(
             mutant.hart().state().csrs().read(csr::FFLAGS),
@@ -468,7 +474,7 @@ mod tests {
         mutant.load(0, &program).unwrap();
         setup(&mut mutant.hart);
         reference.run(10);
-        Dut::run(&mut mutant, 10);
+        Dut::run(&mut mutant, 10, 0);
         assert_eq!(reference.state().csrs().read(csr::FFLAGS), Some(0));
         assert_eq!(
             mutant.hart().state().csrs().read(csr::FFLAGS),
@@ -500,7 +506,7 @@ mod tests {
         mutant.load(0, &program).unwrap();
         setup(&mut mutant.hart);
         reference.run(10);
-        Dut::run(&mut mutant, 10);
+        Dut::run(&mut mutant, 10, 0);
         assert_eq!(
             reference.state().csrs().read(csr::FFLAGS),
             Some(csr::fflags::NV),

@@ -1,11 +1,11 @@
 //! Architectural state: program counter, register files and CSRs.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 
 use tf_riscv::csr::{self, mi, mstatus, mtvec, CsrAddr};
 use tf_riscv::{Fpr, Gpr};
 
-use crate::digest::Fnv;
+use crate::digest::WideFnv;
 
 /// `misa` for this model: RV64 (MXL=2) with the I, M, A, F, D extensions.
 pub const MISA: u64 = (2 << 62) | (1 << 0) | (1 << 3) | (1 << 5) | (1 << 8) | (1 << 12);
@@ -23,7 +23,7 @@ pub const CANONICAL_NAN_F32: u32 = 0x7FC0_0000;
 /// address are reported as `None` and become illegal-instruction traps in
 /// the hart. WARL fields are legalised on write exactly once, here, so
 /// every stored value is architecturally valid.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct CsrFile {
     fcsr: u64,
     mstatus: u64,
@@ -38,7 +38,39 @@ pub struct CsrFile {
     sepc: u64,
     scause: u64,
     stval: u64,
+    // Cumulative fold of every architectural mutation since reset (see
+    // [`ArchState::write_history`]); bookkeeping, not state.
+    history: WideFnv,
 }
+
+/// History-fold tag for [`CsrFile::accrue_fflags`]; outside the 12-bit
+/// CSR address space so it cannot collide with a [`CsrFile::write`].
+const HISTORY_ACCRUE: u64 = 0x1_0000;
+/// History-fold tag for [`CsrFile::set_fp_dirty`].
+const HISTORY_FP_DIRTY: u64 = 0x2_0000;
+/// History-fold tag for [`CsrFile::enter_trap`].
+const HISTORY_TRAP: u64 = 0x3_0000;
+
+impl PartialEq for CsrFile {
+    fn eq(&self, other: &Self) -> bool {
+        // The write history is bookkeeping, not architectural state.
+        self.fcsr == other.fcsr
+            && self.mstatus == other.mstatus
+            && self.mie == other.mie
+            && self.mip == other.mip
+            && self.mtvec == other.mtvec
+            && self.mepc == other.mepc
+            && self.mcause == other.mcause
+            && self.mtval == other.mtval
+            && self.mcycle == other.mcycle
+            && self.minstret == other.minstret
+            && self.sepc == other.sepc
+            && self.scause == other.scause
+            && self.stval == other.stval
+    }
+}
+
+impl Eq for CsrFile {}
 
 impl CsrFile {
     /// Reset state: everything zero except `mstatus.FS`, which starts
@@ -85,6 +117,8 @@ impl CsrFile {
     /// not exist or is read-only (illegal-instruction trap in the hart).
     #[must_use = "a rejected csr write must raise a trap"]
     pub fn write(&mut self, addr: CsrAddr, value: u64) -> Option<()> {
+        self.history.write_u64(u64::from(addr.value()));
+        self.history.write_u64(value);
         match addr {
             csr::FFLAGS => {
                 self.fcsr = (self.fcsr & !csr::fflags::MASK) | (value & csr::fflags::MASK);
@@ -124,6 +158,8 @@ impl CsrFile {
 
     /// Accrue floating-point exception flags (bitwise OR into `fflags`).
     pub fn accrue_fflags(&mut self, flags: u64) {
+        self.history.write_u64(HISTORY_ACCRUE);
+        self.history.write_u64(flags);
         self.fcsr |= flags & csr::fflags::MASK;
     }
 
@@ -136,12 +172,17 @@ impl CsrFile {
     /// Mark the FP unit state dirty (after any FP register or `fcsr`
     /// write).
     pub fn set_fp_dirty(&mut self) {
+        self.history.write_u64(HISTORY_FP_DIRTY);
         self.mstatus |= mstatus::FS_DIRTY << mstatus::FS_SHIFT;
     }
 
     /// Record trap entry: stash the interrupt-enable bit, save `pc` and
     /// cause, and return the trap-handler address.
     pub fn enter_trap(&mut self, pc: u64, cause: u64, tval: u64) -> u64 {
+        self.history.write_u64(HISTORY_TRAP);
+        self.history.write_u64(pc);
+        self.history.write_u64(cause);
+        self.history.write_u64(tval);
         let mie = self.mstatus & mstatus::MIE;
         self.mstatus &= !(mstatus::MIE | mstatus::MPIE | mstatus::MPP_MASK);
         // MPIE <- MIE, MIE <- 0, MPP <- machine.
@@ -162,7 +203,16 @@ impl CsrFile {
         self.minstret = self.minstret.wrapping_add(1);
     }
 
-    fn digest_into(&self, fnv: &mut Fnv) {
+    /// The cumulative fold of every architectural mutation made through
+    /// this file since reset — the CSR slice of
+    /// [`ArchState::write_history`]. The free-running counter bumps are
+    /// excluded, mirroring their exclusion from the digest.
+    #[must_use]
+    pub fn write_history(&self) -> u64 {
+        self.history.finish()
+    }
+
+    fn digest_into(&self, fnv: &mut WideFnv) {
         for value in [
             self.fcsr,
             self.mstatus,
@@ -181,6 +231,13 @@ impl CsrFile {
     }
 }
 
+/// Digest slot index of the program counter; integer registers occupy
+/// slots 1..=31 (`x0` has no slot — it is constant zero) and FP
+/// registers slots 32..=63.
+const SLOT_PC: u8 = 0;
+/// Digest slot of FP register `f0`.
+const SLOT_F0: u8 = 32;
+
 /// The complete architectural register state of one hart.
 #[derive(Debug, Clone)]
 pub struct ArchState {
@@ -188,10 +245,23 @@ pub struct ArchState {
     gprs: [u64; 32],
     fprs: [u64; 32],
     csrs: CsrFile,
-    // Dirty-flag digest cache: `None` after any mutation, `Some` once
-    // [`ArchState::digest`] has recomputed. `Cell` keeps `digest(&self)`
-    // on the `Dut` contract.
-    digest_cache: Cell<Option<u64>>,
+    // Incremental digest bookkeeping, not architectural state. The
+    // register digest is an XOR of per-slot hashes, maintained lazily:
+    // every write records the slot's pre-write value (first write per
+    // slot only, deduplicated by `pending_mask`), and `digest()` folds
+    // the old value out and the current one in — so a digest sample
+    // costs only the registers actually written since the last sample.
+    // `Cell`/`RefCell` keep `digest(&self)` on the `Dut` contract.
+    reg_acc: Cell<u64>,
+    pending: RefCell<Vec<(u8, u64)>>,
+    pending_mask: Cell<u64>,
+    // The CSR file is one coarse slot: few instructions touch it, and a
+    // whole-file refold is 11 xor-multiply rounds.
+    csr_hash: Cell<u64>,
+    csr_dirty: Cell<bool>,
+    // Cumulative fold of every register write since reset (see
+    // [`ArchState::write_history`]); bookkeeping, not state.
+    history: WideFnv,
 }
 
 impl PartialEq for ArchState {
@@ -217,13 +287,20 @@ impl ArchState {
     /// values.
     #[must_use]
     pub fn new() -> Self {
-        ArchState {
+        let state = ArchState {
             pc: 0,
             gprs: [0; 32],
             fprs: [0; 32],
             csrs: CsrFile::new(),
-            digest_cache: Cell::new(None),
-        }
+            reg_acc: Cell::new(0),
+            pending: RefCell::new(Vec::new()),
+            pending_mask: Cell::new(0),
+            csr_hash: Cell::new(0),
+            csr_dirty: Cell::new(true),
+            history: WideFnv::new(),
+        };
+        state.reg_acc.set(state.reg_acc_from_scratch());
+        state
     }
 
     /// The program counter.
@@ -234,8 +311,10 @@ impl ArchState {
 
     /// Set the program counter.
     pub fn set_pc(&mut self, pc: u64) {
+        self.note_write(SLOT_PC, self.pc);
+        self.history.write_u64(u64::from(SLOT_PC));
+        self.history.write_u64(pc);
         self.pc = pc;
-        self.digest_cache.set(None);
     }
 
     /// Read an integer register; `x0` always reads zero.
@@ -247,8 +326,11 @@ impl ArchState {
     /// Write an integer register; writes to `x0` are discarded.
     pub fn set_x(&mut self, reg: Gpr, value: u64) {
         if !reg.is_zero() {
-            self.gprs[usize::from(reg.index())] = value;
-            self.digest_cache.set(None);
+            let index = usize::from(reg.index());
+            self.note_write(reg.index(), self.gprs[index]);
+            self.history.write_u64(u64::from(reg.index()));
+            self.history.write_u64(value);
+            self.gprs[index] = value;
         }
     }
 
@@ -260,9 +342,14 @@ impl ArchState {
 
     /// Write the raw 64-bit contents of an FP register.
     pub fn set_f_bits(&mut self, reg: Fpr, bits: u64) {
-        self.fprs[usize::from(reg.index())] = bits;
+        let index = usize::from(reg.index());
+        self.note_write(SLOT_F0 + reg.index(), self.fprs[index]);
+        self.history.write_u64(u64::from(SLOT_F0 + reg.index()));
+        self.history.write_u64(bits);
+        self.fprs[index] = bits;
+        // `set_fp_dirty` mutates `mstatus.FS`, so the CSR slot moves too.
         self.csrs.set_fp_dirty();
-        self.digest_cache.set(None);
+        self.csr_dirty.set(true);
     }
 
     /// Read an FP register as a double-precision value.
@@ -300,11 +387,11 @@ impl ArchState {
         &self.csrs
     }
 
-    /// The CSR file, mutably. Conservatively invalidates the cached
-    /// digest: the caller may mutate any CSR through the returned
+    /// The CSR file, mutably. Conservatively marks the CSR digest slot
+    /// dirty: the caller may mutate any CSR through the returned
     /// reference.
     pub fn csrs_mut(&mut self) -> &mut CsrFile {
-        self.digest_cache.set(None);
+        self.csr_dirty.set(true);
         &mut self.csrs
     }
 
@@ -321,39 +408,123 @@ impl ArchState {
         self.csrs.bump_instret();
     }
 
-    /// Deterministic FNV-1a digest of the complete register state: `pc`,
-    /// both register files and every CSR except the free-running counters
+    /// Deterministic digest of the complete register state: `pc`, both
+    /// register files and every CSR except the free-running counters
     /// (`mcycle`/`minstret`), which differ between equal executions that
     /// merely idled differently.
     ///
-    /// The result is cached behind a dirty flag: repeated calls with no
-    /// intervening mutation return the cached value without re-hashing.
+    /// The scheme (digest generation `v2`, see
+    /// [`STABILITY_FINGERPRINT`](crate::digest::STABILITY_FINGERPRINT)):
+    /// each register slot hashes to a per-slot [`WideFnv`] of `(slot,
+    /// value)`, the slots XOR together (so one changed register refolds
+    /// in O(1)), the CSR file folds as one [`WideFnv`] slot, and the two
+    /// accumulators combine through a final [`WideFnv`]. The cost of a
+    /// call is proportional to the registers *written since the previous
+    /// call* — the retiring window's defs — not to the register file.
     #[must_use]
     pub fn digest(&self) -> u64 {
-        if let Some(cached) = self.digest_cache.get() {
-            debug_assert_eq!(
-                cached,
-                self.digest_uncached(),
-                "cached register digest diverged from recomputation"
-            );
-            return cached;
+        let mut acc = self.reg_acc.get();
+        {
+            let mut pending = self.pending.borrow_mut();
+            if !pending.is_empty() {
+                for (slot, old) in pending.drain(..) {
+                    acc ^=
+                        Self::slot_hash(slot, old) ^ Self::slot_hash(slot, self.slot_value(slot));
+                }
+                self.reg_acc.set(acc);
+                self.pending_mask.set(0);
+            }
         }
-        let digest = self.digest_uncached();
-        self.digest_cache.set(Some(digest));
+        if self.csr_dirty.get() {
+            let mut fnv = WideFnv::new();
+            self.csrs.digest_into(&mut fnv);
+            self.csr_hash.set(fnv.finish());
+            self.csr_dirty.set(false);
+        }
+        let mut fnv = WideFnv::new();
+        fnv.write_u64(acc);
+        fnv.write_u64(self.csr_hash.get());
+        let digest = fnv.finish();
+        debug_assert_eq!(
+            digest,
+            self.digest_uncached(),
+            "incremental register digest diverged from recomputation"
+        );
         digest
     }
 
-    /// The digest [`ArchState::digest`] would return, always recomputed —
-    /// the correctness oracle for the cached path.
+    /// Cumulative fold of every architectural *write* since reset: each
+    /// register write folds its slot and new value, and every CSR
+    /// mutation folds through the [`CsrFile`]'s own accumulator
+    /// ([`CsrFile::write_history`]). Unlike [`ArchState::digest`], which
+    /// fingerprints the state a device *reached*, the history
+    /// fingerprints the path it took — two devices whose states diverged
+    /// and then reconverged share a digest but never a history. The
+    /// windowed differential engine folds this into every batch sample
+    /// (see [`fold_sample`](crate::fold_sample)) precisely so transient
+    /// divergences inside a window cannot escape detection. The
+    /// free-running counter bumps are excluded, mirroring their
+    /// exclusion from the digest.
+    #[must_use]
+    pub fn write_history(&self) -> u64 {
+        let mut fnv = WideFnv::new();
+        fnv.write_u64(self.history.finish());
+        fnv.write_u64(self.csrs.write_history());
+        fnv.finish()
+    }
+
+    /// The digest [`ArchState::digest`] would return, always recomputed
+    /// from every slot — the correctness oracle for the incremental path.
     #[must_use]
     pub fn digest_uncached(&self) -> u64 {
-        let mut fnv = Fnv::new();
-        fnv.write_u64(self.pc);
-        for value in self.gprs.iter().chain(self.fprs.iter()) {
-            fnv.write_u64(*value);
-        }
+        let mut fnv = WideFnv::new();
         self.csrs.digest_into(&mut fnv);
+        let mut combined = WideFnv::new();
+        combined.write_u64(self.reg_acc_from_scratch());
+        combined.write_u64(fnv.finish());
+        combined.finish()
+    }
+
+    /// The hash one register slot contributes to the digest's XOR
+    /// accumulator.
+    fn slot_hash(slot: u8, value: u64) -> u64 {
+        let mut fnv = WideFnv::new();
+        fnv.write_u64(u64::from(slot));
+        fnv.write_u64(value);
         fnv.finish()
+    }
+
+    /// The current value of a digest slot.
+    fn slot_value(&self, slot: u8) -> u64 {
+        match slot {
+            SLOT_PC => self.pc,
+            1..=31 => self.gprs[usize::from(slot)],
+            _ => self.fprs[usize::from(slot - SLOT_F0)],
+        }
+    }
+
+    /// Record a slot's pre-write value so the next [`ArchState::digest`]
+    /// can fold the old hash out and the new one in. Only the first
+    /// write per slot between digests is recorded.
+    fn note_write(&mut self, slot: u8, old: u64) {
+        let bit = 1u64 << slot;
+        let mask = self.pending_mask.get();
+        if mask & bit == 0 {
+            self.pending_mask.set(mask | bit);
+            self.pending.get_mut().push((slot, old));
+        }
+    }
+
+    /// The register XOR accumulator recomputed over every slot.
+    fn reg_acc_from_scratch(&self) -> u64 {
+        let mut acc = Self::slot_hash(SLOT_PC, self.pc);
+        for (i, value) in self.gprs.iter().enumerate().skip(1) {
+            acc ^= Self::slot_hash(i as u8, *value);
+        }
+        for (i, value) in self.fprs.iter().enumerate() {
+            acc ^= Self::slot_hash(SLOT_F0 + i as u8, *value);
+        }
+        acc
     }
 }
 
@@ -482,6 +653,63 @@ mod tests {
         assert_eq!(t.digest(), s.digest());
         assert_eq!(t, s);
         assert_eq!(s.digest(), s.digest_uncached());
+    }
+
+    #[test]
+    fn incremental_digest_is_path_independent() {
+        // Equal states digest equally no matter how many writes, in what
+        // order, or how many digest calls happened along the way.
+        let mut a = ArchState::new();
+        let mut b = ArchState::new();
+        a.set_x(x(1), 7);
+        a.set_x(x(2), 9);
+        let _ = a.digest(); // settle mid-way on one side only
+        a.set_x(x(1), 1);
+        a.set_x(x(1), 3); // repeated writes to one slot coalesce
+        b.set_x(x(2), 9);
+        b.set_x(x(1), 3);
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.digest(), a.digest_uncached());
+        // Writing a value back leaves the digest unchanged (mstatus.FS
+        // is already dirty out of reset, so `set_f_bits` adds nothing).
+        let before = a.digest();
+        a.set_f_bits(f(4), 0xAB);
+        a.set_f_bits(f(4), 0);
+        assert_eq!(a.digest(), before);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn write_history_is_path_sensitive_where_the_digest_is_not() {
+        // Two states that diverge and reconverge share a digest but
+        // never a history — the property windowed sampling relies on.
+        let mut a = ArchState::new();
+        let b = ArchState::new();
+        assert_eq!(a.write_history(), b.write_history());
+        a.set_x(x(1), 7);
+        a.set_x(x(1), 0); // back to the reset value
+        assert_eq!(a.digest(), b.digest());
+        assert_ne!(a.write_history(), b.write_history());
+        // CSR mutations flow into the history too, including transient
+        // ones; counter bumps stay excluded like they are from digests.
+        let mut c = ArchState::new();
+        let before = c.write_history();
+        c.csrs_mut().accrue_fflags(csr::fflags::NX);
+        c.csrs_mut().write(csr::FFLAGS, 0).unwrap();
+        assert_eq!(c.digest(), ArchState::new().digest());
+        assert_ne!(c.write_history(), before);
+        let mut d = ArchState::new();
+        d.bump_cycle();
+        d.bump_instret();
+        assert_eq!(d.write_history(), ArchState::new().write_history());
+        // Identical write sequences fold identically.
+        let mut e = ArchState::new();
+        let mut g = ArchState::new();
+        e.set_pc(8);
+        e.set_f_bits(f(2), 3);
+        g.set_pc(8);
+        g.set_f_bits(f(2), 3);
+        assert_eq!(e.write_history(), g.write_history());
     }
 
     #[test]

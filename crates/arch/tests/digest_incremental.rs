@@ -168,7 +168,7 @@ fn hart_digest_composes_the_two_cached_digests() {
     for _ in 0..512 {
         hart.step();
         let composite = hart.digest();
-        let mut fnv = tf_arch::digest::Fnv::new();
+        let mut fnv = tf_arch::digest::WideFnv::new();
         fnv.write_u64(hart.state().digest_uncached());
         fnv.write_u64(hart.mem().digest_from_scratch());
         assert_eq!(composite, fnv.finish(), "composite digest drifted");

@@ -1,6 +1,7 @@
 //! Flag parsing for `tf-cli`, dependency-free by design.
 
 use tf_arch::BugScenario;
+use tf_fuzz::DEFAULT_WINDOW;
 
 /// Usage text for `--help` and parse failures.
 pub const USAGE: &str = "\
@@ -16,6 +17,10 @@ FUZZ OPTIONS:
     --seed <N>        campaign seed (default 0)
     --steps <M>       generated-instruction budget (default 10000)
     --len <L>         instructions per program, incl. ebreak (default 32)
+    --window <K>      lockstep window: compare digests every K steps and
+                      replay a window exactly when it mismatches; the
+                      reported divergences are bit-identical at every K
+                      (default 16; 1 compares after every step)
     --jobs <J>        worker threads; the budget is sharded across
                       seed-disjoint campaigns and the reports merged
                       (default 1, which is bit-identical to the
@@ -68,6 +73,8 @@ pub struct FuzzArgs {
     pub steps: u64,
     /// Program length.
     pub len: usize,
+    /// Lockstep window: digest-compare cadence in steps.
+    pub window: u64,
     /// Worker threads to shard the budget across.
     pub jobs: usize,
     /// Bug scenario to inject into the DUT, if any.
@@ -88,6 +95,7 @@ impl Default for FuzzArgs {
             seed: 0,
             steps: 10_000,
             len: 32,
+            window: DEFAULT_WINDOW,
             jobs: 1,
             mutant: None,
             expect: None,
@@ -125,6 +133,12 @@ impl FuzzArgs {
                     args.len = parse_int(&value("--len")?, "--len")? as usize;
                     if args.len == 0 {
                         return Err("`--len` must be positive".into());
+                    }
+                }
+                "--window" => {
+                    args.window = parse_int(&value("--window")?, "--window")?;
+                    if args.window == 0 {
+                        return Err("`--window` must be positive".into());
                     }
                 }
                 "--jobs" => {
@@ -276,6 +290,8 @@ mod tests {
             "1000",
             "--len",
             "16",
+            "--window",
+            "8",
             "--jobs",
             "4",
             "--mutant",
@@ -287,6 +303,7 @@ mod tests {
         assert_eq!(args.seed, 7);
         assert_eq!(args.steps, 1000);
         assert_eq!(args.len, 16);
+        assert_eq!(args.window, 8);
         assert_eq!(args.jobs, 4);
         assert_eq!(args.mutant, Some(BugScenario::B2ReservedRounding));
         assert_eq!(args.expect, Some(Expectation::Divergence));
@@ -371,6 +388,7 @@ mod tests {
         assert!(parse(&["--steps", "x"]).unwrap_err().contains("integer"));
         assert!(parse(&["--steps", "0"]).unwrap_err().contains("positive"));
         assert!(parse(&["--jobs", "0"]).unwrap_err().contains("positive"));
+        assert!(parse(&["--window", "0"]).unwrap_err().contains("positive"));
         assert!(parse(&["--frobnicate"])
             .unwrap_err()
             .contains("unknown flag"));

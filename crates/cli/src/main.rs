@@ -31,11 +31,7 @@
 use std::path::Path;
 use std::process::ExitCode;
 
-use tf_arch::{Dut, Hart, MutantHart};
-use tf_fuzz::persist::{self, LoadedFile};
-use tf_fuzz::{
-    run_sharded_seeded, Campaign, CampaignConfig, CampaignReport, Corpus, SeedEntry, ShardedReport,
-};
+use tf_fuzz::prelude::*;
 
 mod args;
 
@@ -96,12 +92,11 @@ fn run_fuzz(args: &FuzzArgs) -> ExitCode {
         println!("{}", args::USAGE);
         return ExitCode::SUCCESS;
     }
-    let config = CampaignConfig {
-        seed: args.seed,
-        instruction_budget: args.steps,
-        program_len: args.len,
-        ..CampaignConfig::default()
-    };
+    let config = CampaignConfig::default()
+        .with_seed(args.seed)
+        .with_instruction_budget(args.steps)
+        .with_program_len(args.len)
+        .with_window(args.window);
     if let Some(scenario) = args.mutant {
         println!("injected bug scenario — {scenario}");
     }
@@ -121,7 +116,7 @@ fn run_fuzz_ephemeral(args: &FuzzArgs, config: &CampaignConfig) -> ExitCode {
 fn run_sharded_for(
     config: &CampaignConfig,
     jobs: usize,
-    mutant: Option<tf_arch::BugScenario>,
+    mutant: Option<BugScenario>,
     seeds: &[SeedEntry],
 ) -> ShardedReport {
     let mem_size = config.mem_size;
@@ -390,7 +385,6 @@ fn corpus_minimize(path: &Path, out: &Path) -> ExitCode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tf_arch::BugScenario;
 
     #[test]
     fn b2_campaign_diverges_and_clean_campaign_does_not() {

@@ -17,7 +17,7 @@ use tf_riscv::{Extension, Format, InstructionLibrary, LibraryConfig};
 
 use crate::corpus::{minimize, Corpus, SeedEntry};
 use crate::coverage::CoverageMap;
-use crate::diff::{DiffEngine, DiffVerdict, Divergence};
+use crate::diff::{ConfigError, DiffConfig, DiffEngine, DiffVerdict, Divergence, DEFAULT_WINDOW};
 use crate::generator::{GeneratorConfig, ProgramGenerator};
 use crate::persist::CampaignCheckpoint;
 use crate::rng::SplitMix64;
@@ -40,6 +40,11 @@ pub struct CampaignConfig {
     pub mem_size: u64,
     /// Load address for generated programs.
     pub base: u64,
+    /// Differential comparison window ([`DiffConfig::window`]): digests
+    /// are compared every this many lockstep steps, with window
+    /// mismatches localised by exact replay. Reported results are
+    /// bit-identical at every window; only throughput changes.
+    pub window: u64,
     /// Instruction-repository configuration to sample from.
     pub library: LibraryConfig,
     /// Generator tuning.
@@ -55,6 +60,7 @@ impl Default for CampaignConfig {
             max_steps_per_program: 128,
             mem_size: 1 << 20,
             base: 0,
+            window: DEFAULT_WINDOW,
             library: LibraryConfig::all(),
             generator: GeneratorConfig::default(),
         }
@@ -62,14 +68,88 @@ impl Default for CampaignConfig {
 }
 
 impl CampaignConfig {
+    /// This config with `seed` replaced.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// This config with `instruction_budget` replaced.
+    #[must_use]
+    pub fn with_instruction_budget(mut self, instruction_budget: u64) -> Self {
+        self.instruction_budget = instruction_budget;
+        self
+    }
+
+    /// This config with `program_len` replaced.
+    #[must_use]
+    pub fn with_program_len(mut self, program_len: usize) -> Self {
+        self.program_len = program_len;
+        self
+    }
+
+    /// This config with `max_steps_per_program` replaced.
+    #[must_use]
+    pub fn with_max_steps_per_program(mut self, max_steps_per_program: u64) -> Self {
+        self.max_steps_per_program = max_steps_per_program;
+        self
+    }
+
+    /// This config with `mem_size` replaced.
+    #[must_use]
+    pub fn with_mem_size(mut self, mem_size: u64) -> Self {
+        self.mem_size = mem_size;
+        self
+    }
+
+    /// This config with `window` replaced.
+    #[must_use]
+    pub fn with_window(mut self, window: u64) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// The [`DiffConfig`] a campaign under this config drives.
+    #[must_use]
+    pub fn diff_config(&self) -> DiffConfig {
+        DiffConfig {
+            base: self.base,
+            max_steps: self.max_steps_per_program,
+            window: self.window,
+        }
+    }
+
+    /// Check the invariants [`Campaign::new`] requires.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the violated invariant: the
+    /// embedded [`DiffConfig`] must validate ([`window >= 1`,
+    /// `max_steps >= 1`](DiffConfig::validate)), `program_len >= 1` and
+    /// `mem_size >= 1`.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.diff_config().validate()?;
+        if self.program_len < 1 {
+            return Err(ConfigError("program_len must be at least 1"));
+        }
+        if self.mem_size < 1 {
+            return Err(ConfigError("mem_size must be at least 1"));
+        }
+        Ok(())
+    }
+
     /// Stable fingerprint of everything that shapes the campaign's
     /// decision streams — seed, program shape, step budget, memory
     /// geometry, generator tuning, and the active instruction set. The
     /// instruction *budget* is deliberately excluded: resuming a
     /// checkpoint with a larger budget is the whole point of resume, and
-    /// the budget never feeds an RNG stream. Checkpoints carry this value
-    /// so a resume under a different configuration is rejected instead of
-    /// silently diverging.
+    /// the budget never feeds an RNG stream. The comparison *window* is
+    /// excluded for the same reason: windowed and exact runs produce
+    /// bit-identical verdicts by construction, so a checkpoint frozen at
+    /// one window may be resumed at another without diverging.
+    /// Checkpoints carry this value so a resume under a different
+    /// configuration is rejected instead of silently diverging.
     #[must_use]
     pub fn fingerprint(&self) -> u64 {
         let mut fnv = Fnv::new();
@@ -265,11 +345,18 @@ pub struct Campaign {
 
 impl Campaign {
     /// Build a campaign from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`CampaignConfig::validate`] rejects the config.
     #[must_use]
     pub fn new(config: CampaignConfig) -> Self {
+        if let Err(error) = config.validate() {
+            panic!("invalid CampaignConfig: {error}");
+        }
         let library = InstructionLibrary::new(config.library, config.seed);
         let generator = ProgramGenerator::with_config(library, config.seed ^ 1, config.generator);
-        let engine = DiffEngine::new(config.base, config.max_steps_per_program);
+        let engine = DiffEngine::new(config.diff_config());
         Campaign {
             generator,
             corpus: Corpus::new(config.seed ^ 2),
@@ -504,12 +591,10 @@ mod tests {
     use tf_arch::{BugScenario, MutantHart};
 
     fn config(budget: u64) -> CampaignConfig {
-        CampaignConfig {
-            seed: 0xF00D,
-            instruction_budget: budget,
-            mem_size: 1 << 16,
-            ..CampaignConfig::default()
-        }
+        CampaignConfig::default()
+            .with_seed(0xF00D)
+            .with_instruction_budget(budget)
+            .with_mem_size(1 << 16)
     }
 
     #[test]
@@ -650,5 +735,88 @@ mod tests {
             (report.programs, report.steps_executed, report.unique_traces)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn every_window_reports_the_exact_campaign_bit_for_bit() {
+        // The tentpole invariant at campaign level: the window is pure
+        // throughput tuning, so whole reports — divergences, coverage,
+        // corpus contents — are identical at every window.
+        let run = |window: u64| {
+            let mut campaign = Campaign::new(config(2_000).with_window(window));
+            let mut dut = MutantHart::new(1 << 16, BugScenario::B2ReservedRounding);
+            let report = campaign.run(&mut dut);
+            let entries = campaign.corpus().entries().to_vec();
+            (report, entries)
+        };
+        let exact = run(1);
+        assert!(!exact.0.is_clean(), "b2 mutant went undetected");
+        for window in [4, 16, 64] {
+            assert_eq!(run(window), exact, "window {window} drifted from exact");
+        }
+    }
+
+    #[test]
+    fn checkpoints_resume_across_windows() {
+        // The window is excluded from the config fingerprint: a corpus
+        // frozen under one window thaws under another, and the resumed
+        // tail still reproduces the uninterrupted run bit for bit.
+        let full_config = config(2_000).with_window(1);
+        let mut uninterrupted = Campaign::new(full_config.clone());
+        let mut dut = Hart::new(1 << 16);
+        let full = uninterrupted.run(&mut dut);
+
+        let mut first = Campaign::new(config(1_000).with_window(32));
+        let mut dut = Hart::new(1 << 16);
+        let half = first.run(&mut dut);
+        let checkpoint = first.checkpoint(&half);
+        let entries = first.corpus().entries().to_vec();
+
+        let mut second = Campaign::restore(full_config, &checkpoint, &entries).unwrap();
+        let mut dut = Hart::new(1 << 16);
+        let resumed = second.resume(&mut dut, checkpoint.report.clone());
+        assert_eq!(resumed, full, "cross-window resume must be bit-identical");
+    }
+
+    #[test]
+    fn builders_validate_and_the_constructor_enforces_them() {
+        let config = CampaignConfig::default()
+            .with_seed(7)
+            .with_program_len(9)
+            .with_max_steps_per_program(50)
+            .with_window(4);
+        assert_eq!(config.seed, 7);
+        assert_eq!(config.program_len, 9);
+        assert_eq!(config.diff_config().max_steps, 50);
+        assert_eq!(config.diff_config().window, 4);
+        assert!(config.validate().is_ok());
+        assert_eq!(
+            config
+                .clone()
+                .with_window(0)
+                .validate()
+                .unwrap_err()
+                .to_string(),
+            "window must be at least 1"
+        );
+        assert_eq!(
+            config
+                .clone()
+                .with_program_len(0)
+                .validate()
+                .unwrap_err()
+                .to_string(),
+            "program_len must be at least 1"
+        );
+        assert_eq!(
+            config.with_mem_size(0).validate().unwrap_err().to_string(),
+            "mem_size must be at least 1"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid CampaignConfig")]
+    fn the_campaign_rejects_an_invalid_config() {
+        let _ = Campaign::new(CampaignConfig::default().with_window(0));
     }
 }

@@ -1,18 +1,121 @@
-//! Lockstep differential execution: reference vs device under test.
+//! Windowed lockstep differential execution: reference vs device under
+//! test.
 //!
 //! The [`DiffEngine`] loads the same program into the golden reference
-//! and a [`Dut`], steps both in lockstep and compares after every step:
-//! first the recorded [`TraceEntry`]s (pc, fetched word, outcome,
-//! defined-register value), then the full architectural digests
+//! and a [`Dut`] and compares their executions. With
+//! [`DiffConfig::window`]` == 1` it steps both in lockstep and compares
+//! after every step: outcome first, then the full architectural digests
 //! (registers, CSRs and memory — catching divergences trace entries
-//! cannot see, like a dropped `fflags` update). The first mismatching
-//! step is reported as a [`Divergence`] carrying both sides' entries,
-//! which is the paper's bug-scenario localisation: not just *that* the
-//! device differs, but the exact instruction where it went wrong.
+//! cannot see, like a dropped `fflags` update). With a window `k > 1` it
+//! instead runs each side as one batched [`Dut::run`] that samples the
+//! digest every `k` steps, and compares the two [`BatchOutcome`]s — the
+//! digest cost amortises by `k`. When the batches disagree the engine
+//! replays the run exactly (execution is deterministic, so the replay
+//! bisects the offending window down to its first diverging step), which
+//! makes the reported [`Divergence`] bit-identical to what `window == 1`
+//! reports. The divergence carries both sides' [`TraceEntry`]s, which is
+//! the paper's bug-scenario localisation: not just *that* the device
+//! differs, but the exact instruction where it went wrong.
+//!
+//! Windowed detection loses no sensitivity: each sample folds not just
+//! the state digest but the device's cumulative *write history*
+//! ([`tf_arch::Dut::write_history`], via [`tf_arch::fold_sample`]), and
+//! a fold over the write sequence never reconverges once the two sides
+//! first wrote differently — so even a divergence whose architectural
+//! side effects cancel out again before the next sample point still
+//! flips every later sample and triggers the exact replay. Backends
+//! that leave `write_history` at its constant default stay correct
+//! too, at a cost: every window against the history-bearing reference
+//! mismatches and replays, degrading to `window = 1` throughput.
 
 use tf_arch::digest::Fnv;
-use tf_arch::{Dut, RunExit, StepOutcome, TraceEntry, Trap};
+use tf_arch::{BatchOutcome, Dut, RunExit, StepOutcome, TraceEntry, Trap};
 use tf_riscv::Instruction;
+
+/// Default comparison window: digests are sampled and compared every
+/// this many steps (see [`DiffConfig::window`]).
+pub const DEFAULT_WINDOW: u64 = 16;
+
+/// A rejected configuration, explaining which invariant failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(pub(crate) &'static str);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// How a [`DiffEngine`] runs: where programs load, the per-run step
+/// budget and the comparison window. Mirrors
+/// [`CampaignConfig`](crate::CampaignConfig): public fields plus
+/// `#[must_use]` builder setters ([`DiffConfig::with_window`] and
+/// friends) and [`DiffConfig::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiffConfig {
+    /// Address programs are loaded at.
+    pub base: u64,
+    /// Per-run step budget.
+    pub max_steps: u64,
+    /// Steps between digest comparisons. `1` compares after every step
+    /// (the exhaustive pre-windowing behaviour, bit for bit); larger
+    /// windows amortise digest cost and localise mismatches by exact
+    /// replay. `max_steps` need not be a multiple: a trailing partial
+    /// window is closed by the unconditional final sample of
+    /// [`Dut::run`]. Must be at least 1.
+    pub window: u64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            base: 0,
+            max_steps: 128,
+            window: DEFAULT_WINDOW,
+        }
+    }
+}
+
+impl DiffConfig {
+    /// This config with `base` replaced.
+    #[must_use]
+    pub fn with_base(mut self, base: u64) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// This config with `max_steps` replaced.
+    #[must_use]
+    pub fn with_max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// This config with `window` replaced.
+    #[must_use]
+    pub fn with_window(mut self, window: u64) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Check the invariants [`DiffEngine::new`] requires.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the violated invariant:
+    /// `window >= 1` and `max_steps >= 1`.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.window < 1 {
+            return Err(ConfigError("window must be at least 1"));
+        }
+        if self.max_steps < 1 {
+            return Err(ConfigError("max_steps must be at least 1"));
+        }
+        Ok(())
+    }
+}
 
 /// How a differential run ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -115,29 +218,41 @@ impl std::fmt::Display for Divergence {
     }
 }
 
-/// Lockstep differential executor.
+/// Windowed lockstep differential executor.
 #[derive(Debug, Clone, Copy)]
 pub struct DiffEngine {
-    base: u64,
-    max_steps: u64,
+    config: DiffConfig,
 }
 
 impl DiffEngine {
-    /// An engine loading programs at `base` with a per-run step budget.
+    /// An engine running under `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`DiffConfig::validate`] rejects the config.
     #[must_use]
-    pub fn new(base: u64, max_steps: u64) -> Self {
-        DiffEngine { base, max_steps }
+    pub fn new(config: DiffConfig) -> Self {
+        if let Err(error) = config.validate() {
+            panic!("invalid DiffConfig: {error}");
+        }
+        DiffEngine { config }
     }
 
-    /// The per-run step budget.
+    /// The engine's configuration.
     #[must_use]
-    pub fn max_steps(&self) -> u64 {
-        self.max_steps
+    pub fn config(&self) -> DiffConfig {
+        self.config
     }
 
-    /// Reset both devices, load `program` into each, and execute in
-    /// lockstep until divergence, program end (`ebreak`/`ecall`) or the
-    /// step budget.
+    /// Reset both devices, load `program` into each, and execute both
+    /// sides until divergence, program end (`ebreak`/`ecall`) or the
+    /// step budget, comparing digests every [`DiffConfig::window`]
+    /// steps.
+    ///
+    /// A window mismatch is localised by exact replay: both sides are
+    /// reset and re-run in per-step lockstep, which — execution being a
+    /// pure function of the loaded program — reports the same
+    /// [`Divergence`], bit for bit, that `window == 1` would have.
     ///
     /// # Errors
     ///
@@ -151,15 +266,60 @@ impl DiffEngine {
     ) -> Result<DiffVerdict, Trap> {
         reference.reset();
         dut.reset();
-        reference.load(self.base, program)?;
-        dut.load(self.base, program)?;
+        reference.load(self.config.base, program)?;
+        dut.load(self.config.base, program)?;
+        if self.config.window > 1 {
+            // Trace the reference only: the trace feeds the coverage key
+            // on agreement, and the replay recollects both sides' traces
+            // on mismatch.
+            reference.enable_tracing();
+            let ref_batch = reference.run(self.config.max_steps, self.config.window);
+            let dut_batch = dut.run(self.config.max_steps, self.config.window);
+            if let Some(verdict) = self.agree_on_batches(reference, &ref_batch, &dut_batch) {
+                return Ok(verdict);
+            }
+            // Some window disagreed: replay from reset, step by step, to
+            // bisect it down to the exact diverging step.
+            reference.reset();
+            dut.reset();
+            reference.load(self.config.base, program)?;
+            dut.load(self.config.base, program)?;
+        }
+        Ok(self.diff_exact(reference, dut))
+    }
+
+    /// The windowed agreement check: equal batches become the verdict
+    /// the exact loop would have produced, a mismatch becomes `None`.
+    fn agree_on_batches(
+        &self,
+        reference: &mut dyn Dut,
+        ref_batch: &BatchOutcome,
+        dut_batch: &BatchOutcome,
+    ) -> Option<DiffVerdict> {
+        if ref_batch != dut_batch {
+            reference.take_trace();
+            return None;
+        }
+        let trace_digest = reference.take_trace().map_or(0, |t| t.digest());
+        Some(DiffVerdict::Agree {
+            steps: ref_batch.steps,
+            exit: ref_batch.exit,
+            trace_digest,
+            trap_causes: ref_batch.trap_causes,
+        })
+    }
+
+    /// The exhaustive per-step loop: compare outcome and digest after
+    /// every single step. Callers have already reset and loaded both
+    /// sides.
+    fn diff_exact(&self, reference: &mut dyn Dut, dut: &mut dyn Dut) -> DiffVerdict {
         reference.enable_tracing();
         dut.enable_tracing();
 
         let mut verdict = None;
         let mut steps = 0;
         let mut trap_causes = 0u64;
-        while steps < self.max_steps {
+        while steps < self.config.max_steps {
             let ref_outcome = reference.step();
             let dut_outcome = dut.step();
             steps += 1;
@@ -173,40 +333,40 @@ impl DiffEngine {
             }
             match ref_outcome {
                 StepOutcome::Trapped(Trap::Breakpoint { .. }) => {
-                    return Ok(self.agree(
+                    return self.agree(
                         reference,
                         dut,
                         RunExit::Breakpoint { steps },
                         steps,
                         trap_causes,
-                    ));
+                    );
                 }
                 StepOutcome::Trapped(Trap::EnvironmentCall) => {
-                    return Ok(self.agree(
+                    return self.agree(
                         reference,
                         dut,
                         RunExit::EnvironmentCall { steps },
                         steps,
                         trap_causes,
-                    ));
+                    );
                 }
                 _ => {}
             }
         }
         match verdict {
-            None => Ok(self.agree(reference, dut, RunExit::OutOfGas, steps, trap_causes)),
+            None => self.agree(reference, dut, RunExit::OutOfGas, steps, trap_causes),
             Some((step, reference_digest, dut_digest)) => {
                 let ref_entry = reference
                     .take_trace()
                     .and_then(|t| t.entries().last().copied());
                 let dut_entry = dut.take_trace().and_then(|t| t.entries().last().copied());
-                Ok(DiffVerdict::Diverged(Divergence {
+                DiffVerdict::Diverged(Divergence {
                     step,
                     reference: ref_entry,
                     dut: dut_entry,
                     reference_digest,
                     dut_digest,
-                }))
+                })
             }
         }
     }
@@ -253,7 +413,7 @@ mod tests {
             Instruction::r_type(Opcode::Add, x(2), x(1), x(1)),
             Instruction::system(Opcode::Ebreak),
         ];
-        let engine = DiffEngine::new(0, 100);
+        let engine = DiffEngine::new(DiffConfig::default().with_max_steps(100));
         let mut reference = Hart::new(MEM);
         let mut dut = Hart::new(MEM);
         let verdict = engine.diff(&mut reference, &mut dut, &program).unwrap();
@@ -278,7 +438,7 @@ mod tests {
     fn fingerprints_identify_the_signature_not_the_run() {
         // Two B2-style divergences at different pcs fingerprint equally;
         // a different divergence signature does not.
-        let engine = DiffEngine::new(0, 100);
+        let engine = DiffEngine::new(DiffConfig::default().with_max_steps(100));
         let prelude = Instruction::csr_imm(Opcode::Csrrwi, Gpr::ZERO, csr::FRM, 0b101).unwrap();
         let fadd = Instruction::fp_r_type(Opcode::FaddS, f(1), f(2), f(3), Some(RoundingMode::Dyn))
             .unwrap();
@@ -331,7 +491,7 @@ mod tests {
                 .unwrap(),
             Instruction::system(Opcode::Ebreak),
         ];
-        let engine = DiffEngine::new(0, 100);
+        let engine = DiffEngine::new(DiffConfig::default().with_max_steps(100));
         let mut reference = Hart::new(MEM);
         let mut dut = MutantHart::new(MEM, BugScenario::B2ReservedRounding);
         let verdict = engine.diff(&mut reference, &mut dut, &program).unwrap();
@@ -380,7 +540,7 @@ mod tests {
                 .unwrap(),
             Instruction::system(Opcode::Ebreak),
         ];
-        let engine = DiffEngine::new(0, 100);
+        let engine = DiffEngine::new(DiffConfig::default().with_max_steps(100));
         let verdict = engine.diff(&mut reference, &mut dut, &program).unwrap();
         let DiffVerdict::Diverged(divergence) = verdict else {
             panic!("fflags mutant must diverge");
@@ -393,7 +553,7 @@ mod tests {
 
     #[test]
     fn load_failures_surface_as_traps() {
-        let engine = DiffEngine::new(0, 10);
+        let engine = DiffEngine::new(DiffConfig::default().with_max_steps(10));
         let mut reference = Hart::new(16);
         let mut dut = Hart::new(16);
         let program = vec![Instruction::nop(); 32];
@@ -403,7 +563,7 @@ mod tests {
 
     #[test]
     fn out_of_gas_still_agrees() {
-        let engine = DiffEngine::new(0, 4);
+        let engine = DiffEngine::new(DiffConfig::default().with_max_steps(4));
         let mut reference = Hart::new(MEM);
         let mut dut = Hart::new(MEM);
         // An infinite loop: jal x0, 0 jumps to itself.
@@ -421,5 +581,84 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn builders_compose_and_validation_names_the_invariant() {
+        let config = DiffConfig::default()
+            .with_base(0x1000)
+            .with_max_steps(64)
+            .with_window(4);
+        assert_eq!(
+            config,
+            DiffConfig {
+                base: 0x1000,
+                max_steps: 64,
+                window: 4
+            }
+        );
+        assert_eq!(config.validate(), Ok(()));
+        // max_steps need not be a multiple of the window.
+        assert_eq!(config.with_max_steps(63).validate(), Ok(()));
+        assert!(config
+            .with_window(0)
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("window"));
+        assert!(config
+            .with_max_steps(0)
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("max_steps"));
+        let engine = DiffEngine::new(config);
+        assert_eq!(engine.config(), config);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid DiffConfig")]
+    fn the_engine_rejects_a_zero_window() {
+        let _ = DiffEngine::new(DiffConfig::default().with_window(0));
+    }
+
+    #[test]
+    fn every_window_reports_the_exact_loop_verdict() {
+        // The replay guarantee, in miniature (the 1k-seed property test
+        // lives in tests/windowed_equivalence.rs): agreement and
+        // divergence verdicts at every window equal window=1's, bit for
+        // bit — including a budget that is not a window multiple.
+        let diverging = [
+            Instruction::csr_imm(Opcode::Csrrwi, Gpr::ZERO, csr::FRM, 0b101).unwrap(),
+            Instruction::fp_r_type(Opcode::FaddS, f(1), f(2), f(3), Some(RoundingMode::Dyn))
+                .unwrap(),
+            Instruction::system(Opcode::Ebreak),
+        ];
+        let clean = [
+            Instruction::i_type(Opcode::Addi, x(1), Gpr::ZERO, 5).unwrap(),
+            Instruction::r_type(Opcode::Add, x(2), x(1), x(1)),
+            Instruction::system(Opcode::Ebreak),
+        ];
+        for max_steps in [100, 7] {
+            let exact = DiffEngine::new(
+                DiffConfig::default()
+                    .with_max_steps(max_steps)
+                    .with_window(1),
+            );
+            for window in [4, 16, 64] {
+                let windowed = DiffEngine::new(
+                    DiffConfig::default()
+                        .with_max_steps(max_steps)
+                        .with_window(window),
+                );
+                for program in [&diverging[..], &clean[..]] {
+                    let mut reference = Hart::new(MEM);
+                    let mut dut = MutantHart::new(MEM, BugScenario::B2ReservedRounding);
+                    let expected = exact.diff(&mut reference, &mut dut, program).unwrap();
+                    let got = windowed.diff(&mut reference, &mut dut, program).unwrap();
+                    assert_eq!(got, expected, "window {window}, max_steps {max_steps}");
+                }
+            }
+        }
     }
 }

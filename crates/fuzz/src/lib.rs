@@ -15,8 +15,12 @@
 //! * [`Corpus`] — seed programs that earned new coverage, with
 //!   deterministic mutation ([`Corpus::mutate`]) and reproducer shrinking
 //!   ([`minimize`]).
-//! * [`DiffEngine`] — lockstep reference-vs-DUT execution that localises
-//!   the first diverging [`tf_arch::TraceEntry`].
+//! * [`DiffEngine`] — windowed lockstep reference-vs-DUT execution
+//!   (configured by [`DiffConfig`]): digests are compared every
+//!   [`DiffConfig::window`] steps via the batched [`tf_arch::Dut::run`],
+//!   and a mismatching window is replayed step-at-a-time so the reported
+//!   [`Divergence`] — down to the first diverging
+//!   [`tf_arch::TraceEntry`] — is bit-identical to an exact run.
 //! * [`Campaign`] — the driver tying it all together, reproducible from a
 //!   single seed and reported through [`CampaignReport`].
 //! * [`run_sharded`] — one instruction budget split across worker threads:
@@ -76,8 +80,39 @@ mod shard;
 pub use campaign::{Campaign, CampaignConfig, CampaignReport, RestoreError};
 pub use corpus::{minimize, Corpus, SeedEntry};
 pub use coverage::CoverageMap;
-pub use diff::{DiffEngine, DiffVerdict, Divergence};
+pub use diff::{ConfigError, DiffConfig, DiffEngine, DiffVerdict, Divergence, DEFAULT_WINDOW};
 pub use generator::{GeneratorConfig, ProgramGenerator};
 pub use shard::{
     run_sharded, run_sharded_seeded, shard_config, worker_seed, ShardedReport, WorkerReport,
 };
+
+pub mod prelude {
+    //! One-stop import for campaign-facing code.
+    //!
+    //! Everything a driver needs to configure, run, shard, persist and
+    //! report on a differential campaign — including the [`tf_arch`]
+    //! types that cross the API surface (the [`Dut`] boundary, the
+    //! golden [`Hart`], the [`MutantHart`] validation backends) — so
+    //! binaries and integration tests write
+    //! `use tf_fuzz::prelude::*;` instead of mirroring the crate
+    //! layout:
+    //!
+    //! ```
+    //! use tf_fuzz::prelude::*;
+    //!
+    //! let config = CampaignConfig::default()
+    //!     .with_instruction_budget(1_000)
+    //!     .with_mem_size(1 << 16);
+    //! let mut dut = MutantHart::new(1 << 16, BugScenario::B2ReservedRounding);
+    //! assert!(!Campaign::new(config).run(&mut dut).is_clean());
+    //! ```
+
+    pub use crate::persist::{self, LoadReport, LoadedFile, PersistError};
+    pub use crate::{
+        minimize, run_sharded, run_sharded_seeded, shard_config, worker_seed, Campaign,
+        CampaignConfig, CampaignReport, ConfigError, Corpus, CoverageMap, DiffConfig, DiffEngine,
+        DiffVerdict, Divergence, RestoreError, SeedEntry, ShardedReport, WorkerReport,
+        DEFAULT_WINDOW,
+    };
+    pub use tf_arch::{fold_sample, BatchOutcome, BugScenario, Dut, Hart, MutantHart, RunExit};
+}

@@ -58,7 +58,13 @@ pub const MAGIC: [u8; 8] = *b"TFCORPUS";
 /// Current format version. Bumped on any incompatible layout change;
 /// readers reject other versions outright (versioning policy: no silent
 /// cross-version migration, corpora are cheap to regrow).
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// Version 2 accompanies digest scheme v2
+/// ([`tf_arch::digest::STABILITY_FINGERPRINT`]):
+/// checkpoints embed state digests, so a digest-scheme change is a
+/// layout-compatible but *semantically* incompatible change and gets a
+/// version bump of its own on top of the fingerprint check.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Record tag for one corpus seed entry.
 pub const TAG_SEED: u8 = 1;

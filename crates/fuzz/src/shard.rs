@@ -51,11 +51,10 @@ pub fn shard_config(config: &CampaignConfig, jobs: usize, worker: usize) -> Camp
     let jobs = jobs as u64;
     let base = config.instruction_budget / jobs;
     let extra = u64::from((worker as u64) < config.instruction_budget % jobs);
-    CampaignConfig {
-        seed: worker_seed(config.seed, worker),
-        instruction_budget: base + extra,
-        ..config.clone()
-    }
+    config
+        .clone()
+        .with_seed(worker_seed(config.seed, worker))
+        .with_instruction_budget(base + extra)
 }
 
 /// What one worker of a sharded campaign produced.

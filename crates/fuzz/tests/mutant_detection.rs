@@ -5,18 +5,18 @@
 //! against the unmodified reference stays clean. This suite runs that
 //! matrix for the whole [`BugScenario`] catalogue.
 
-use tf_arch::{BugScenario, Dut, Hart, MutantHart, StepOutcome, Trap};
-use tf_fuzz::{Campaign, CampaignConfig, CampaignReport};
+use tf_arch::{StepOutcome, Trap};
+use tf_fuzz::prelude::*;
 
 const MEM: u64 = 1 << 16;
 
 fn campaign(seed: u64, budget: u64) -> Campaign {
-    Campaign::new(CampaignConfig {
-        seed,
-        instruction_budget: budget,
-        mem_size: MEM,
-        ..CampaignConfig::default()
-    })
+    Campaign::new(
+        CampaignConfig::default()
+            .with_seed(seed)
+            .with_instruction_budget(budget)
+            .with_mem_size(MEM),
+    )
 }
 
 fn run_mutant(scenario: BugScenario, budget: u64) -> CampaignReport {
@@ -89,13 +89,11 @@ fn mutants_are_quiet_when_their_trigger_is_never_generated() {
     // wrappers themselves).
     use tf_riscv::LibraryConfig;
     for scenario in [BugScenario::B2ReservedRounding, BugScenario::DroppedFflags] {
-        let config = CampaignConfig {
-            seed: 11,
-            instruction_budget: 1_500,
-            mem_size: MEM,
-            library: LibraryConfig::base_integer(),
-            ..CampaignConfig::default()
-        };
+        let mut config = CampaignConfig::default()
+            .with_seed(11)
+            .with_instruction_budget(1_500)
+            .with_mem_size(MEM);
+        config.library = LibraryConfig::base_integer();
         let mut dut = MutantHart::new(MEM, scenario);
         let report = Campaign::new(config).run(&mut dut);
         assert!(

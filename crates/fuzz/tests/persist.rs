@@ -4,9 +4,8 @@
 
 use std::path::PathBuf;
 
-use tf_arch::Hart;
-use tf_fuzz::persist::{self, PersistError};
-use tf_fuzz::{Campaign, CampaignConfig, Corpus, ProgramGenerator, RestoreError, SeedEntry};
+use tf_fuzz::prelude::*;
+use tf_fuzz::ProgramGenerator;
 use tf_riscv::{InstructionLibrary, LibraryConfig};
 
 const MEM: u64 = 1 << 16;
@@ -18,12 +17,10 @@ fn temp_path(name: &str) -> PathBuf {
 }
 
 fn config(seed: u64, budget: u64) -> CampaignConfig {
-    CampaignConfig {
-        seed,
-        instruction_budget: budget,
-        mem_size: MEM,
-        ..CampaignConfig::default()
-    }
+    CampaignConfig::default()
+        .with_seed(seed)
+        .with_instruction_budget(budget)
+        .with_mem_size(MEM)
 }
 
 /// Property: any corpus of generator-produced programs round-trips
@@ -172,10 +169,7 @@ fn resume_through_the_file_is_bit_identical() {
     let checkpoint = loaded.checkpoint.unwrap();
     assert!(matches!(
         Campaign::restore(
-            CampaignConfig {
-                program_len: 16,
-                ..config(0xF00D, full_budget)
-            },
+            config(0xF00D, full_budget).with_program_len(16),
             &checkpoint,
             &loaded.entries,
         ),

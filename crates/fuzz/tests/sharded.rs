@@ -4,21 +4,15 @@
 
 use std::collections::HashSet;
 
-use tf_arch::{BugScenario, Hart, MutantHart};
-use tf_fuzz::{
-    run_sharded, run_sharded_seeded, shard_config, Campaign, CampaignConfig, CampaignReport,
-    SeedEntry,
-};
+use tf_fuzz::prelude::*;
 
 const MEM: u64 = 1 << 16;
 
 fn config(seed: u64, budget: u64) -> CampaignConfig {
-    CampaignConfig {
-        seed,
-        instruction_budget: budget,
-        mem_size: MEM,
-        ..CampaignConfig::default()
-    }
+    CampaignConfig::default()
+        .with_seed(seed)
+        .with_instruction_budget(budget)
+        .with_mem_size(MEM)
 }
 
 /// A report with at least one divergence, from a mutant campaign of the
@@ -60,7 +54,7 @@ fn merging_is_associative() {
         let mut prints: Vec<u64> = report
             .divergences
             .iter()
-            .map(tf_fuzz::Divergence::fingerprint)
+            .map(Divergence::fingerprint)
             .collect();
         prints.sort_unstable();
         prints
@@ -144,7 +138,7 @@ fn sharded_mutant_campaign_detects_and_deduplicates_the_bug() {
         .merged
         .divergences
         .iter()
-        .map(tf_fuzz::Divergence::fingerprint)
+        .map(Divergence::fingerprint)
         .collect();
     fingerprints.sort_unstable();
     let before = fingerprints.len();
