@@ -50,12 +50,18 @@ fn parse(text: &str) -> BTreeMap<String, f64> {
 }
 
 /// Merge `entries` into the JSON document, overwriting same-named keys
-/// and preserving the rest.
-pub fn update(entries: &[(&str, f64)]) {
+/// and preserving the rest — minus the `stale` keys, which are dropped.
+/// A bench marks a key stale when the metric is meaningless in this
+/// environment (e.g. multi-worker scaling on a single-core host) so a
+/// leftover number doesn't masquerade as a fresh measurement.
+pub fn update(entries: &[(&str, f64)], stale: &[&str]) {
     let path = path();
     let mut map = std::fs::read_to_string(&path)
         .map(|text| parse(&text))
         .unwrap_or_default();
+    for key in stale {
+        map.remove(*key);
+    }
     for (key, value) in entries {
         map.insert((*key).to_string(), *value);
     }

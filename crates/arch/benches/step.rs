@@ -116,5 +116,8 @@ fn main() {
     println!("tf_arch interpreter throughput (Hart::run over Hart::step)");
     let fib = bench("fib", &fib_program(5), fib_steps, samples);
     let chaos = bench("chaos", &chaos_program(4_096), chaos_steps, samples);
-    json::update(&[("fib_ns_per_step", fib), ("chaos_ns_per_step", chaos)]);
+    json::update(
+        &[("fib_ns_per_step", fib), ("chaos_ns_per_step", chaos)],
+        &[],
+    );
 }

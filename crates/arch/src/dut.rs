@@ -214,6 +214,14 @@ impl Dut for Hart {
     fn take_trace(&mut self) -> Option<ExecutionTrace> {
         Hart::take_trace(self)
     }
+
+    /// Native batched run over predecoded basic blocks — bit-identical
+    /// to the default trait implementation (the property test
+    /// `tests/run_native.rs` proves it), but without the per-step trait
+    /// dispatch, outcome construction and bookkeeping in the inner loop.
+    fn run(&mut self, max_steps: u64, digest_every: u64) -> BatchOutcome {
+        self.run_batch(max_steps, digest_every)
+    }
 }
 
 #[cfg(test)]

@@ -1,15 +1,78 @@
-//! The hart: fetch, decode, execute — one instruction per [`Hart::step`].
+//! The hart: fetch, decode, execute — one instruction per [`Hart::step`],
+//! or one predecoded basic block per inner iteration of the native
+//! batched [`Hart::run_batch`].
+
+use std::sync::Arc;
 
 use tf_riscv::csr::{self, CsrAddr};
-use tf_riscv::{Fpr, Gpr, Instruction, Opcode, RoundingMode};
+use tf_riscv::{Format, Fpr, Gpr, Instruction, Opcode, RoundingMode};
 
 use crate::digest::WideFnv;
-use crate::dut::Dut;
+use crate::dut::{fold_sample, BatchOutcome, Dut};
 use crate::fpu::{self, dp, sp};
 use crate::mem::Memory;
 use crate::state::ArchState;
 use crate::trace::{ExecutionTrace, StepOutcome, TraceEntry};
 use crate::trap::Trap;
+
+/// Execution routine of one predecoded instruction. Non-capturing, so
+/// every handler is a plain `fn` pointer and a block walk is a
+/// direct-threaded dispatch loop with no opcode re-matching.
+type Handler = fn(&mut Hart, &MicroOp) -> Result<(), Trap>;
+
+/// One pre-resolved instruction of a predecoded basic block: the decoded
+/// form, its fetch address and raw word (the `(pc, word)` validation
+/// key), and the selected handler.
+#[derive(Debug, Clone, Copy)]
+struct MicroOp {
+    insn: Instruction,
+    pc: u64,
+    word: u32,
+    handler: Handler,
+    /// Whether the op can write memory (stores and atomics). Only such
+    /// ops can move the code generation, so the block walk checks for
+    /// in-block self-modification after these alone.
+    stores: bool,
+}
+
+/// A cached straight-line block starting at some pc. Valid while the
+/// memory code-range generation still equals `gen`; on a generation
+/// mismatch the per-word store stamps ([`Memory::code_range_unchanged`])
+/// prove the block's words intact in one L1 scan, and the block is
+/// rebuilt only when one of its words was actually stored to. An empty
+/// `ops` caches a *failed* build (the word at the block's pc does not
+/// decode), so repeated execution there does not re-pay the decode scan.
+#[derive(Debug, Clone)]
+struct Block {
+    gen: u64,
+    ops: Arc<[MicroOp]>,
+}
+
+/// Longest straight-line block predecoded in one go. Bounds the work a
+/// single build or re-validation can do; block-spanning straight-line
+/// code simply continues in the next cached block.
+const BLOCK_CAP: usize = 64;
+
+/// True for opcodes that end a basic block: anything after them in
+/// memory order is not necessarily the next instruction executed.
+/// Branches and jumps redirect control; `ecall`/`ebreak` end the run or
+/// vector to the trap handler. CSR accesses stay in-block — they are
+/// straight-line in this machine-mode-only model.
+fn ends_block(op: Opcode) -> bool {
+    matches!(
+        op,
+        Opcode::Beq
+            | Opcode::Bne
+            | Opcode::Blt
+            | Opcode::Bge
+            | Opcode::Bltu
+            | Opcode::Bgeu
+            | Opcode::Jal
+            | Opcode::Jalr
+            | Opcode::Ecall
+            | Opcode::Ebreak
+    )
+}
 
 /// Why [`Hart::run`] returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +124,12 @@ pub struct Hart {
     // entry simply decodes the fresh word the slow way).
     icache_base: u64,
     icache: Vec<(u32, Option<Instruction>)>,
+    // Predecoded-block cache, indexed like the icache: entry `i` caches
+    // the basic block *starting at* `icache_base + 4*i`. Blocks validate
+    // against the memory code-range generation (see
+    // [`Memory::code_generation`]); pcs outside the loaded program never
+    // get blocks and always take the exact per-step path.
+    blocks: Vec<Option<Block>>,
 }
 
 impl Hart {
@@ -74,6 +143,7 @@ impl Hart {
             trace: None,
             icache_base: 0,
             icache: Vec::new(),
+            blocks: Vec::new(),
         }
     }
 
@@ -151,6 +221,11 @@ impl Hart {
         // validation keeps any stale range harmless either way.
         self.icache_base = base;
         self.icache = icache;
+        // The program image is the code range: stores into it bump the
+        // generation the block cache validates against.
+        self.blocks = vec![None; self.icache.len()];
+        self.mem
+            .set_code_watch(base, base + 4 * self.icache.len() as u64);
         Ok(())
     }
 
@@ -255,6 +330,267 @@ impl Hart {
         }
     }
 
+    // ---- predecoded-block engine ---------------------------------------
+
+    /// The cached basic block starting at `pc`, validated or (re)built.
+    /// `blocks` is the hart's own block table, lent out by [`run_batch`]
+    /// (see there) so the returned ops slice can be walked while the
+    /// handlers borrow the hart — no per-op indexing, no `Arc` refcount
+    /// traffic in the hot loop. `None` when no block applies — pc
+    /// misaligned, outside the loaded program, or the word there does
+    /// not decode — in which case the caller must take the exact
+    /// per-step path.
+    fn block_at<'b>(&mut self, blocks: &'b mut [Option<Block>], pc: u64) -> Option<&'b [MicroOp]> {
+        if pc % 4 != 0 {
+            return None;
+        }
+        let index = usize::try_from(pc.checked_sub(self.icache_base)? / 4).ok()?;
+        if index >= blocks.len() {
+            return None;
+        }
+        let gen = self.mem.code_generation();
+        let rebuild = match &blocks[index] {
+            Some(block) if block.gen == gen => false,
+            // The generation moved, but the store(s) behind it may not
+            // have hit this block's words: the per-word store stamps
+            // prove intactness without re-reading memory. A cached
+            // failed build covers the one undecodable word at `pc`.
+            Some(block) => !self
+                .mem
+                .code_range_unchanged(pc, block.ops.len().max(1), block.gen),
+            None => true,
+        };
+        if rebuild {
+            self.build_block(blocks, pc, index)
+        } else {
+            let block = blocks[index].as_mut()?;
+            block.gen = gen;
+            (!block.ops.is_empty()).then_some(&block.ops[..])
+        }
+    }
+
+    /// Decode forward from `pc` to the next block-ending instruction (or
+    /// [`BLOCK_CAP`], the end of the program image, or an undecodable
+    /// word) and cache the straight-line result. A failed build (the
+    /// word at `pc` itself does not decode) is cached as an empty block
+    /// so the decode scan is not re-paid until that word is stored to.
+    fn build_block<'b>(
+        &mut self,
+        blocks: &'b mut [Option<Block>],
+        pc: u64,
+        index: usize,
+    ) -> Option<&'b [MicroOp]> {
+        let end = self.icache_base + 4 * blocks.len() as u64;
+        let gen = self.mem.code_generation();
+        let mut ops = Vec::new();
+        let mut addr = pc;
+        while addr < end && ops.len() < BLOCK_CAP {
+            let Some(word) = self.mem.load_u32(addr) else {
+                break;
+            };
+            let insn = match self.cached_decode(addr, word) {
+                Some(insn) => insn,
+                None => match Instruction::decode(word) {
+                    Ok(insn) => insn,
+                    Err(_) => break,
+                },
+            };
+            ops.push(MicroOp {
+                insn,
+                pc: addr,
+                word,
+                handler: handler_for(insn.opcode()),
+                stores: matches!(
+                    insn.opcode().format(),
+                    Format::S | Format::FpStore | Format::Amo
+                ),
+            });
+            if ends_block(insn.opcode()) {
+                break;
+            }
+            addr = addr.wrapping_add(4);
+        }
+        blocks[index] = Some(Block {
+            gen,
+            ops: ops.into(),
+        });
+        let block = blocks[index].as_ref()?;
+        (!block.ops.is_empty()).then_some(&block.ops[..])
+    }
+
+    /// Record a retired micro-op into the trace, exactly as
+    /// [`Hart::step`] would have.
+    #[cold]
+    fn trace_retired(&mut self, op: &MicroOp) {
+        let def = op.insn.operands().defs().map(|reg| {
+            let value = match reg {
+                tf_riscv::Reg::X(g) => self.state.x(g),
+                tf_riscv::Reg::F(f) => self.state.f_bits(f),
+            };
+            (reg, value)
+        });
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEntry {
+                pc: op.pc,
+                word: Some(op.word),
+                outcome: StepOutcome::Retired(op.insn),
+                def,
+            });
+        }
+    }
+
+    /// Record a trapped micro-op into the trace, exactly as
+    /// [`Hart::step`] would have.
+    #[cold]
+    fn trace_trapped(&mut self, op: &MicroOp, trap: Trap) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEntry {
+                pc: op.pc,
+                word: Some(op.word),
+                outcome: StepOutcome::Trapped(trap),
+                def: None,
+            });
+        }
+    }
+
+    /// Native batched run: the [`Dut::run`] override for [`Hart`].
+    ///
+    /// Executes whole predecoded blocks between sample points, with the
+    /// per-step trait dispatch, [`StepOutcome`] construction and
+    /// bookkeeping hoisted out of the inner loop. Observable behaviour —
+    /// step/retire counts, exits, trap causes, trace entries and every
+    /// digest sample — is bit-identical to the default trait
+    /// implementation's documented schedule (interior samples at step
+    /// numbers divisible by `digest_every`, skipping one that would
+    /// coincide with the final sample; a final sample always). Pcs
+    /// without a valid block — outside the program image, misaligned, or
+    /// holding an undecodable word — fall back to the exact per-step
+    /// path for that step.
+    pub(crate) fn run_batch(&mut self, max_steps: u64, digest_every: u64) -> BatchOutcome {
+        let mut steps = 0;
+        let mut retired = 0;
+        let mut trap_causes = 0u64;
+        let mut exit = RunExit::OutOfGas;
+        let mut samples = Vec::new();
+        // Countdown to the next interior sample — equivalent to the
+        // default impl's `steps % digest_every == 0` because `steps`
+        // only ever grows by one, but without a hardware division on
+        // every step. One definition (this macro), three sample points.
+        let mut until_sample = digest_every;
+        macro_rules! sample_point {
+            () => {
+                if digest_every != 0 {
+                    until_sample -= 1;
+                    if until_sample == 0 {
+                        until_sample = digest_every;
+                        if steps < max_steps {
+                            samples.push(fold_sample(self.digest(), self.write_history(), retired));
+                        }
+                    }
+                }
+            };
+        }
+        // Lend the block table out of `self` for the duration of the
+        // run: the ops slice returned by `block_at` then borrows the
+        // local table while the handlers borrow the hart disjointly, so
+        // the walk is a plain slice iteration — no per-op bounds checks,
+        // no `Arc` refcount traffic, no micro-op copies. Nothing on the
+        // handler or fallback path reads `self.blocks`.
+        let mut blocks = std::mem::take(&mut self.blocks);
+        'outer: while steps < max_steps {
+            let pc = self.state.pc();
+            let Some(ops) = self.block_at(&mut blocks, pc) else {
+                // Exact per-step fallback for this one step: traps on
+                // misalignment/fetch faults/illegal words are raised by
+                // `step` itself, identically to the default impl.
+                let outcome = self.step();
+                steps += 1;
+                match outcome {
+                    StepOutcome::Retired(_) => retired += 1,
+                    StepOutcome::Trapped(trap) => {
+                        trap_causes |= 1 << (trap.cause().code() & 63);
+                        match trap {
+                            Trap::Breakpoint { .. } => {
+                                exit = RunExit::Breakpoint { steps };
+                                break 'outer;
+                            }
+                            Trap::EnvironmentCall => {
+                                exit = RunExit::EnvironmentCall { steps };
+                                break 'outer;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                sample_point!();
+                continue;
+            };
+            let block_gen = self.mem.code_generation();
+            for op in ops {
+                self.state.bump_cycle();
+                match (op.handler)(self, op) {
+                    Ok(()) => {
+                        self.state.bump_instret();
+                        retired += 1;
+                        steps += 1;
+                        if self.trace.is_some() {
+                            self.trace_retired(op);
+                        }
+                    }
+                    Err(trap) => {
+                        let handler = self.state.csrs_mut().enter_trap(
+                            op.pc,
+                            trap.cause().code(),
+                            trap.tval(),
+                        );
+                        self.state.set_pc(handler);
+                        steps += 1;
+                        trap_causes |= 1 << (trap.cause().code() & 63);
+                        if self.trace.is_some() {
+                            self.trace_trapped(op, trap);
+                        }
+                        match trap {
+                            Trap::Breakpoint { .. } => {
+                                exit = RunExit::Breakpoint { steps };
+                                break 'outer;
+                            }
+                            Trap::EnvironmentCall => {
+                                exit = RunExit::EnvironmentCall { steps };
+                                break 'outer;
+                            }
+                            _ => {}
+                        }
+                        // A non-exit trap vectored pc to mtvec: the rest
+                        // of this block is not what executes next.
+                        sample_point!();
+                        if steps == max_steps {
+                            break 'outer;
+                        }
+                        continue 'outer;
+                    }
+                }
+                sample_point!();
+                if steps == max_steps {
+                    break 'outer;
+                }
+                if op.stores && self.mem.code_generation() != block_gen {
+                    // The store may have hit the code range (in-block
+                    // self-modification): re-resolve at the
+                    // architectural pc instead of walking stale ops.
+                    continue 'outer;
+                }
+            }
+        }
+        self.blocks = blocks;
+        samples.push(fold_sample(self.digest(), self.write_history(), retired));
+        BatchOutcome {
+            steps,
+            exit,
+            trap_causes,
+            samples,
+        }
+    }
+
     // ---- register helpers ----------------------------------------------
 
     fn x(&self, index: u8) -> u64 {
@@ -298,13 +634,27 @@ impl Hart {
         }
     }
 
-    /// Conditional branch: retarget `next` when `cmp` holds. Branch
-    /// offsets are 4-byte aligned by construction, so no alignment trap
-    /// is possible here.
-    fn branch(&self, insn: Instruction, pc: u64, next: &mut u64, cmp: fn(u64, u64) -> bool) {
-        if cmp(self.x(insn.rs1()), self.x(insn.rs2())) {
-            *next = pc.wrapping_add(insn.imm() as u64);
-        }
+    /// Finish a straight-line micro-op: advance pc to the next word.
+    /// Every handler ends by setting pc — the per-step `(slot, pc)`
+    /// history fold is part of the write-history contract.
+    #[inline]
+    fn advance(&mut self, m: &MicroOp) -> Result<(), Trap> {
+        self.state.set_pc(m.pc.wrapping_add(4));
+        Ok(())
+    }
+
+    /// Conditional branch: pc moves to the target when `cmp` holds, else
+    /// to the next word. Branch offsets are 4-byte aligned by
+    /// construction, so no alignment trap is possible here.
+    #[inline]
+    fn branch_to(&mut self, m: &MicroOp, cmp: fn(u64, u64) -> bool) -> Result<(), Trap> {
+        let next = if cmp(self.x(m.insn.rs1()), self.x(m.insn.rs2())) {
+            m.pc.wrapping_add(m.insn.imm() as u64)
+        } else {
+            m.pc.wrapping_add(4)
+        };
+        self.state.set_pc(next);
+        Ok(())
     }
 
     // ---- memory helpers ------------------------------------------------
@@ -661,414 +1011,726 @@ impl Hart {
 
     // ---- the interpreter -----------------------------------------------
 
-    /// Execute one decoded instruction. The match is exhaustive over every
-    /// [`Opcode`] — no catch-all — so adding an opcode to the substrate
-    /// without teaching the reference model about it fails to compile.
-    #[allow(clippy::too_many_lines)]
+    /// Execute one decoded instruction by dispatching through the same
+    /// handler table the block engine uses, so the per-step path and the
+    /// batched path share one implementation of every opcode.
     fn exec(&mut self, insn: Instruction, pc: u64, word: u32) -> Result<(), Trap> {
-        use Opcode as Op;
-        let mut next = pc.wrapping_add(4);
-        let imm = insn.imm();
-        match insn.opcode() {
-            // ---- RV64I: upper immediates and jumps ---------------------
-            Op::Lui => self.set_x(insn.rd(), (imm << 12) as u64),
-            Op::Auipc => self.set_x(insn.rd(), pc.wrapping_add((imm << 12) as u64)),
-            Op::Jal => {
-                self.set_x(insn.rd(), next);
-                next = pc.wrapping_add(imm as u64);
+        let op = MicroOp {
+            insn,
+            pc,
+            word,
+            handler: handler_for(insn.opcode()),
+            stores: false, // unused on the per-step path
+        };
+        (op.handler)(self, &op)
+    }
+}
+
+/// The handler for one opcode. The match is exhaustive over every
+/// [`Opcode`] — no catch-all — so adding an opcode to the substrate
+/// without teaching the reference model about it fails to compile. Every
+/// handler ends by setting pc (straight-line ops via [`Hart::advance`],
+/// control flow explicitly); on a trap (`Err`) pc is untouched and the
+/// caller vectors it.
+#[allow(clippy::too_many_lines)]
+fn handler_for(opcode: Opcode) -> Handler {
+    use Opcode as Op;
+    match opcode {
+        // ---- RV64I: upper immediates and jumps ---------------------
+        Op::Lui => |h, m| {
+            h.set_x(m.insn.rd(), (m.insn.imm() << 12) as u64);
+            h.advance(m)
+        },
+        Op::Auipc => |h, m| {
+            h.set_x(m.insn.rd(), m.pc.wrapping_add((m.insn.imm() << 12) as u64));
+            h.advance(m)
+        },
+        Op::Jal => |h, m| {
+            h.set_x(m.insn.rd(), m.pc.wrapping_add(4));
+            h.state.set_pc(m.pc.wrapping_add(m.insn.imm() as u64));
+            Ok(())
+        },
+        Op::Jalr => |h, m| {
+            let target = h.x(m.insn.rs1()).wrapping_add(m.insn.imm() as u64) & !1;
+            if target % 4 != 0 {
+                return Err(Trap::InstructionMisaligned { addr: target });
             }
-            Op::Jalr => {
-                let target = self.x(insn.rs1()).wrapping_add(imm as u64) & !1;
-                if target % 4 != 0 {
-                    return Err(Trap::InstructionMisaligned { addr: target });
-                }
-                self.set_x(insn.rd(), next);
-                next = target;
-            }
-            // ---- RV64I: branches ---------------------------------------
-            Op::Beq => self.branch(insn, pc, &mut next, |a, b| a == b),
-            Op::Bne => self.branch(insn, pc, &mut next, |a, b| a != b),
-            Op::Blt => self.branch(insn, pc, &mut next, |a, b| (a as i64) < (b as i64)),
-            Op::Bge => self.branch(insn, pc, &mut next, |a, b| (a as i64) >= (b as i64)),
-            Op::Bltu => self.branch(insn, pc, &mut next, |a, b| a < b),
-            Op::Bgeu => self.branch(insn, pc, &mut next, |a, b| a >= b),
-            // ---- RV64I: loads and stores -------------------------------
-            Op::Lb => self.int_load(insn, 1, true)?,
-            Op::Lh => self.int_load(insn, 2, true)?,
-            Op::Lw => self.int_load(insn, 4, true)?,
-            Op::Ld => self.int_load(insn, 8, true)?,
-            Op::Lbu => self.int_load(insn, 1, false)?,
-            Op::Lhu => self.int_load(insn, 2, false)?,
-            Op::Lwu => self.int_load(insn, 4, false)?,
-            Op::Sb => self.int_store(insn, 1)?,
-            Op::Sh => self.int_store(insn, 2)?,
-            Op::Sw => self.int_store(insn, 4)?,
-            Op::Sd => self.int_store(insn, 8)?,
-            // ---- RV64I: register-immediate -----------------------------
-            Op::Addi => {
-                let v = self.x(insn.rs1()).wrapping_add(imm as u64);
-                self.set_x(insn.rd(), v);
-            }
-            Op::Slti => {
-                let v = (self.x(insn.rs1()) as i64) < imm;
-                self.set_x(insn.rd(), u64::from(v));
-            }
-            Op::Sltiu => {
-                let v = self.x(insn.rs1()) < imm as u64;
-                self.set_x(insn.rd(), u64::from(v));
-            }
-            Op::Xori => {
-                let v = self.x(insn.rs1()) ^ imm as u64;
-                self.set_x(insn.rd(), v);
-            }
-            Op::Ori => {
-                let v = self.x(insn.rs1()) | imm as u64;
-                self.set_x(insn.rd(), v);
-            }
-            Op::Andi => {
-                let v = self.x(insn.rs1()) & imm as u64;
-                self.set_x(insn.rd(), v);
-            }
-            Op::Slli => {
-                let v = self.x(insn.rs1()) << imm;
-                self.set_x(insn.rd(), v);
-            }
-            Op::Srli => {
-                let v = self.x(insn.rs1()) >> imm;
-                self.set_x(insn.rd(), v);
-            }
-            Op::Srai => {
-                let v = (self.x(insn.rs1()) as i64) >> imm;
-                self.set_x(insn.rd(), v as u64);
-            }
-            Op::Addiw => {
-                let v = self.x(insn.rs1()).wrapping_add(imm as u64) as i32;
-                self.set_x(insn.rd(), v as i64 as u64);
-            }
-            Op::Slliw => {
-                let v = ((self.x(insn.rs1()) as u32) << imm) as i32;
-                self.set_x(insn.rd(), v as i64 as u64);
-            }
-            Op::Srliw => {
-                let v = ((self.x(insn.rs1()) as u32) >> imm) as i32;
-                self.set_x(insn.rd(), v as i64 as u64);
-            }
-            Op::Sraiw => {
-                let v = (self.x(insn.rs1()) as i32) >> imm;
-                self.set_x(insn.rd(), v as i64 as u64);
-            }
-            // ---- RV64I: register-register ------------------------------
-            Op::Add => {
-                let v = self.x(insn.rs1()).wrapping_add(self.x(insn.rs2()));
-                self.set_x(insn.rd(), v);
-            }
-            Op::Sub => {
-                let v = self.x(insn.rs1()).wrapping_sub(self.x(insn.rs2()));
-                self.set_x(insn.rd(), v);
-            }
-            Op::Sll => {
-                let v = self.x(insn.rs1()) << (self.x(insn.rs2()) & 63);
-                self.set_x(insn.rd(), v);
-            }
-            Op::Slt => {
-                let v = (self.x(insn.rs1()) as i64) < (self.x(insn.rs2()) as i64);
-                self.set_x(insn.rd(), u64::from(v));
-            }
-            Op::Sltu => {
-                let v = self.x(insn.rs1()) < self.x(insn.rs2());
-                self.set_x(insn.rd(), u64::from(v));
-            }
-            Op::Xor => {
-                let v = self.x(insn.rs1()) ^ self.x(insn.rs2());
-                self.set_x(insn.rd(), v);
-            }
-            Op::Srl => {
-                let v = self.x(insn.rs1()) >> (self.x(insn.rs2()) & 63);
-                self.set_x(insn.rd(), v);
-            }
-            Op::Sra => {
-                let v = (self.x(insn.rs1()) as i64) >> (self.x(insn.rs2()) & 63);
-                self.set_x(insn.rd(), v as u64);
-            }
-            Op::Or => {
-                let v = self.x(insn.rs1()) | self.x(insn.rs2());
-                self.set_x(insn.rd(), v);
-            }
-            Op::And => {
-                let v = self.x(insn.rs1()) & self.x(insn.rs2());
-                self.set_x(insn.rd(), v);
-            }
-            Op::Addw => {
-                let v = self.x(insn.rs1()).wrapping_add(self.x(insn.rs2())) as i32;
-                self.set_x(insn.rd(), v as i64 as u64);
-            }
-            Op::Subw => {
-                let v = self.x(insn.rs1()).wrapping_sub(self.x(insn.rs2())) as i32;
-                self.set_x(insn.rd(), v as i64 as u64);
-            }
-            Op::Sllw => {
-                let v = ((self.x(insn.rs1()) as u32) << (self.x(insn.rs2()) & 31)) as i32;
-                self.set_x(insn.rd(), v as i64 as u64);
-            }
-            Op::Srlw => {
-                let v = ((self.x(insn.rs1()) as u32) >> (self.x(insn.rs2()) & 31)) as i32;
-                self.set_x(insn.rd(), v as i64 as u64);
-            }
-            Op::Sraw => {
-                let v = (self.x(insn.rs1()) as i32) >> (self.x(insn.rs2()) & 31);
-                self.set_x(insn.rd(), v as i64 as u64);
-            }
-            // ---- RV64I: fence and system -------------------------------
-            // A single in-order hart: fences are architectural no-ops.
-            Op::Fence => {}
-            Op::Ecall => return Err(Trap::EnvironmentCall),
-            Op::Ebreak => return Err(Trap::Breakpoint { addr: pc }),
-            // ---- RV64M -------------------------------------------------
-            Op::Mul => {
-                let v = self.x(insn.rs1()).wrapping_mul(self.x(insn.rs2()));
-                self.set_x(insn.rd(), v);
-            }
-            Op::Mulh => {
-                let a = i128::from(self.x(insn.rs1()) as i64);
-                let b = i128::from(self.x(insn.rs2()) as i64);
-                self.set_x(insn.rd(), ((a * b) >> 64) as u64);
-            }
-            Op::Mulhsu => {
-                let a = i128::from(self.x(insn.rs1()) as i64);
-                let b = i128::from(self.x(insn.rs2()));
-                self.set_x(insn.rd(), ((a * b) >> 64) as u64);
-            }
-            Op::Mulhu => {
-                let a = u128::from(self.x(insn.rs1()));
-                let b = u128::from(self.x(insn.rs2()));
-                self.set_x(insn.rd(), ((a * b) >> 64) as u64);
-            }
-            Op::Div => {
-                let (a, b) = (self.x(insn.rs1()) as i64, self.x(insn.rs2()) as i64);
-                let v = if b == 0 { -1 } else { a.wrapping_div(b) };
-                self.set_x(insn.rd(), v as u64);
-            }
-            Op::Divu => {
-                let (a, b) = (self.x(insn.rs1()), self.x(insn.rs2()));
-                self.set_x(insn.rd(), a.checked_div(b).unwrap_or(u64::MAX));
-            }
-            Op::Rem => {
-                let (a, b) = (self.x(insn.rs1()) as i64, self.x(insn.rs2()) as i64);
-                let v = if b == 0 { a } else { a.wrapping_rem(b) };
-                self.set_x(insn.rd(), v as u64);
-            }
-            Op::Remu => {
-                let (a, b) = (self.x(insn.rs1()), self.x(insn.rs2()));
-                let v = if b == 0 { a } else { a % b };
-                self.set_x(insn.rd(), v);
-            }
-            Op::Mulw => {
-                let v = (self.x(insn.rs1()) as i32).wrapping_mul(self.x(insn.rs2()) as i32);
-                self.set_x(insn.rd(), v as i64 as u64);
-            }
-            Op::Divw => {
-                let (a, b) = (self.x(insn.rs1()) as i32, self.x(insn.rs2()) as i32);
-                let v = if b == 0 { -1 } else { a.wrapping_div(b) };
-                self.set_x(insn.rd(), v as i64 as u64);
-            }
-            Op::Divuw => {
-                let (a, b) = (self.x(insn.rs1()) as u32, self.x(insn.rs2()) as u32);
-                let v = a.checked_div(b).unwrap_or(u32::MAX);
-                self.set_x(insn.rd(), v as i32 as i64 as u64);
-            }
-            Op::Remw => {
-                let (a, b) = (self.x(insn.rs1()) as i32, self.x(insn.rs2()) as i32);
-                let v = if b == 0 { a } else { a.wrapping_rem(b) };
-                self.set_x(insn.rd(), v as i64 as u64);
-            }
-            Op::Remuw => {
-                let (a, b) = (self.x(insn.rs1()) as u32, self.x(insn.rs2()) as u32);
-                let v = if b == 0 { a } else { a % b };
-                self.set_x(insn.rd(), v as i32 as i64 as u64);
-            }
-            // ---- RV64A -------------------------------------------------
-            Op::LrW => self.load_reserved(insn, 4)?,
-            Op::LrD => self.load_reserved(insn, 8)?,
-            Op::ScW => self.store_conditional(insn, 4)?,
-            Op::ScD => self.store_conditional(insn, 8)?,
-            Op::AmoswapW => self.amo32(insn, |_, s| s)?,
-            Op::AmoaddW => self.amo32(insn, u32::wrapping_add)?,
-            Op::AmoxorW => self.amo32(insn, |o, s| o ^ s)?,
-            Op::AmoandW => self.amo32(insn, |o, s| o & s)?,
-            Op::AmoorW => self.amo32(insn, |o, s| o | s)?,
-            Op::AmominW => self.amo32(insn, |o, s| (o as i32).min(s as i32) as u32)?,
-            Op::AmomaxW => self.amo32(insn, |o, s| (o as i32).max(s as i32) as u32)?,
-            Op::AmominuW => self.amo32(insn, u32::min)?,
-            Op::AmomaxuW => self.amo32(insn, u32::max)?,
-            Op::AmoswapD => self.amo64(insn, |_, s| s)?,
-            Op::AmoaddD => self.amo64(insn, u64::wrapping_add)?,
-            Op::AmoxorD => self.amo64(insn, |o, s| o ^ s)?,
-            Op::AmoandD => self.amo64(insn, |o, s| o & s)?,
-            Op::AmoorD => self.amo64(insn, |o, s| o | s)?,
-            Op::AmominD => self.amo64(insn, |o, s| (o as i64).min(s as i64) as u64)?,
-            Op::AmomaxD => self.amo64(insn, |o, s| (o as i64).max(s as i64) as u64)?,
-            Op::AmominuD => self.amo64(insn, u64::min)?,
-            Op::AmomaxuD => self.amo64(insn, u64::max)?,
-            // ---- RV64F -------------------------------------------------
-            Op::Flw => self.fp_load(insn, word, 4)?,
-            Op::Fsw => self.fp_store(insn, word, 4)?,
-            Op::FmaddS => self.fp_fma_s(insn, word, false, false)?,
-            Op::FmsubS => self.fp_fma_s(insn, word, false, true)?,
-            Op::FnmsubS => self.fp_fma_s(insn, word, true, false)?,
-            Op::FnmaddS => self.fp_fma_s(insn, word, true, true)?,
-            Op::FaddS => self.fp_bin_s(insn, word, sp::add)?,
-            Op::FsubS => self.fp_bin_s(insn, word, sp::sub)?,
-            Op::FmulS => self.fp_bin_s(insn, word, sp::mul)?,
-            Op::FdivS => self.fp_bin_s(insn, word, sp::div)?,
-            Op::FsqrtS => {
-                self.fp_guard(word)?;
-                let rm = self.resolve_rm(insn, word)?;
-                let (v, flags) = sp::sqrt(self.state.f32(Self::f(insn.rs1())), rm);
-                self.state.set_f32(Self::f(insn.rd()), v);
-                self.accrue(flags);
-            }
-            Op::FsgnjS => self.fsgnj_s(insn, word, 0)?,
-            Op::FsgnjnS => self.fsgnj_s(insn, word, 1)?,
-            Op::FsgnjxS => self.fsgnj_s(insn, word, 2)?,
-            Op::FminS => self.fp_bin_s(insn, word, |a, b, _| sp::min(a, b))?,
-            Op::FmaxS => self.fp_bin_s(insn, word, |a, b, _| sp::max(a, b))?,
-            Op::FeqS => self.fp_cmp_s(insn, word, sp::feq)?,
-            Op::FltS => self.fp_cmp_s(insn, word, sp::flt)?,
-            Op::FleS => self.fp_cmp_s(insn, word, sp::fle)?,
-            Op::FclassS => {
-                self.fp_guard(word)?;
-                let v = sp::fclass(self.state.f32(Self::f(insn.rs1())));
-                self.set_x(insn.rd(), v);
-            }
-            Op::FcvtWS => self.fcvt_to_int_s(insn, word, |v, rm| {
+            h.set_x(m.insn.rd(), m.pc.wrapping_add(4));
+            h.state.set_pc(target);
+            Ok(())
+        },
+        // ---- RV64I: branches ---------------------------------------
+        Op::Beq => |h, m| h.branch_to(m, |a, b| a == b),
+        Op::Bne => |h, m| h.branch_to(m, |a, b| a != b),
+        Op::Blt => |h, m| h.branch_to(m, |a, b| (a as i64) < (b as i64)),
+        Op::Bge => |h, m| h.branch_to(m, |a, b| (a as i64) >= (b as i64)),
+        Op::Bltu => |h, m| h.branch_to(m, |a, b| a < b),
+        Op::Bgeu => |h, m| h.branch_to(m, |a, b| a >= b),
+        // ---- RV64I: loads and stores -------------------------------
+        Op::Lb => |h, m| {
+            h.int_load(m.insn, 1, true)?;
+            h.advance(m)
+        },
+        Op::Lh => |h, m| {
+            h.int_load(m.insn, 2, true)?;
+            h.advance(m)
+        },
+        Op::Lw => |h, m| {
+            h.int_load(m.insn, 4, true)?;
+            h.advance(m)
+        },
+        Op::Ld => |h, m| {
+            h.int_load(m.insn, 8, true)?;
+            h.advance(m)
+        },
+        Op::Lbu => |h, m| {
+            h.int_load(m.insn, 1, false)?;
+            h.advance(m)
+        },
+        Op::Lhu => |h, m| {
+            h.int_load(m.insn, 2, false)?;
+            h.advance(m)
+        },
+        Op::Lwu => |h, m| {
+            h.int_load(m.insn, 4, false)?;
+            h.advance(m)
+        },
+        Op::Sb => |h, m| {
+            h.int_store(m.insn, 1)?;
+            h.advance(m)
+        },
+        Op::Sh => |h, m| {
+            h.int_store(m.insn, 2)?;
+            h.advance(m)
+        },
+        Op::Sw => |h, m| {
+            h.int_store(m.insn, 4)?;
+            h.advance(m)
+        },
+        Op::Sd => |h, m| {
+            h.int_store(m.insn, 8)?;
+            h.advance(m)
+        },
+        // ---- RV64I: register-immediate -----------------------------
+        Op::Addi => |h, m| {
+            let v = h.x(m.insn.rs1()).wrapping_add(m.insn.imm() as u64);
+            h.set_x(m.insn.rd(), v);
+            h.advance(m)
+        },
+        Op::Slti => |h, m| {
+            let v = (h.x(m.insn.rs1()) as i64) < m.insn.imm();
+            h.set_x(m.insn.rd(), u64::from(v));
+            h.advance(m)
+        },
+        Op::Sltiu => |h, m| {
+            let v = h.x(m.insn.rs1()) < m.insn.imm() as u64;
+            h.set_x(m.insn.rd(), u64::from(v));
+            h.advance(m)
+        },
+        Op::Xori => |h, m| {
+            let v = h.x(m.insn.rs1()) ^ m.insn.imm() as u64;
+            h.set_x(m.insn.rd(), v);
+            h.advance(m)
+        },
+        Op::Ori => |h, m| {
+            let v = h.x(m.insn.rs1()) | m.insn.imm() as u64;
+            h.set_x(m.insn.rd(), v);
+            h.advance(m)
+        },
+        Op::Andi => |h, m| {
+            let v = h.x(m.insn.rs1()) & m.insn.imm() as u64;
+            h.set_x(m.insn.rd(), v);
+            h.advance(m)
+        },
+        Op::Slli => |h, m| {
+            let v = h.x(m.insn.rs1()) << m.insn.imm();
+            h.set_x(m.insn.rd(), v);
+            h.advance(m)
+        },
+        Op::Srli => |h, m| {
+            let v = h.x(m.insn.rs1()) >> m.insn.imm();
+            h.set_x(m.insn.rd(), v);
+            h.advance(m)
+        },
+        Op::Srai => |h, m| {
+            let v = (h.x(m.insn.rs1()) as i64) >> m.insn.imm();
+            h.set_x(m.insn.rd(), v as u64);
+            h.advance(m)
+        },
+        Op::Addiw => |h, m| {
+            let v = h.x(m.insn.rs1()).wrapping_add(m.insn.imm() as u64) as i32;
+            h.set_x(m.insn.rd(), v as i64 as u64);
+            h.advance(m)
+        },
+        Op::Slliw => |h, m| {
+            let v = ((h.x(m.insn.rs1()) as u32) << m.insn.imm()) as i32;
+            h.set_x(m.insn.rd(), v as i64 as u64);
+            h.advance(m)
+        },
+        Op::Srliw => |h, m| {
+            let v = ((h.x(m.insn.rs1()) as u32) >> m.insn.imm()) as i32;
+            h.set_x(m.insn.rd(), v as i64 as u64);
+            h.advance(m)
+        },
+        Op::Sraiw => |h, m| {
+            let v = (h.x(m.insn.rs1()) as i32) >> m.insn.imm();
+            h.set_x(m.insn.rd(), v as i64 as u64);
+            h.advance(m)
+        },
+        // ---- RV64I: register-register ------------------------------
+        Op::Add => |h, m| {
+            let v = h.x(m.insn.rs1()).wrapping_add(h.x(m.insn.rs2()));
+            h.set_x(m.insn.rd(), v);
+            h.advance(m)
+        },
+        Op::Sub => |h, m| {
+            let v = h.x(m.insn.rs1()).wrapping_sub(h.x(m.insn.rs2()));
+            h.set_x(m.insn.rd(), v);
+            h.advance(m)
+        },
+        Op::Sll => |h, m| {
+            let v = h.x(m.insn.rs1()) << (h.x(m.insn.rs2()) & 63);
+            h.set_x(m.insn.rd(), v);
+            h.advance(m)
+        },
+        Op::Slt => |h, m| {
+            let v = (h.x(m.insn.rs1()) as i64) < (h.x(m.insn.rs2()) as i64);
+            h.set_x(m.insn.rd(), u64::from(v));
+            h.advance(m)
+        },
+        Op::Sltu => |h, m| {
+            let v = h.x(m.insn.rs1()) < h.x(m.insn.rs2());
+            h.set_x(m.insn.rd(), u64::from(v));
+            h.advance(m)
+        },
+        Op::Xor => |h, m| {
+            let v = h.x(m.insn.rs1()) ^ h.x(m.insn.rs2());
+            h.set_x(m.insn.rd(), v);
+            h.advance(m)
+        },
+        Op::Srl => |h, m| {
+            let v = h.x(m.insn.rs1()) >> (h.x(m.insn.rs2()) & 63);
+            h.set_x(m.insn.rd(), v);
+            h.advance(m)
+        },
+        Op::Sra => |h, m| {
+            let v = (h.x(m.insn.rs1()) as i64) >> (h.x(m.insn.rs2()) & 63);
+            h.set_x(m.insn.rd(), v as u64);
+            h.advance(m)
+        },
+        Op::Or => |h, m| {
+            let v = h.x(m.insn.rs1()) | h.x(m.insn.rs2());
+            h.set_x(m.insn.rd(), v);
+            h.advance(m)
+        },
+        Op::And => |h, m| {
+            let v = h.x(m.insn.rs1()) & h.x(m.insn.rs2());
+            h.set_x(m.insn.rd(), v);
+            h.advance(m)
+        },
+        Op::Addw => |h, m| {
+            let v = h.x(m.insn.rs1()).wrapping_add(h.x(m.insn.rs2())) as i32;
+            h.set_x(m.insn.rd(), v as i64 as u64);
+            h.advance(m)
+        },
+        Op::Subw => |h, m| {
+            let v = h.x(m.insn.rs1()).wrapping_sub(h.x(m.insn.rs2())) as i32;
+            h.set_x(m.insn.rd(), v as i64 as u64);
+            h.advance(m)
+        },
+        Op::Sllw => |h, m| {
+            let v = ((h.x(m.insn.rs1()) as u32) << (h.x(m.insn.rs2()) & 31)) as i32;
+            h.set_x(m.insn.rd(), v as i64 as u64);
+            h.advance(m)
+        },
+        Op::Srlw => |h, m| {
+            let v = ((h.x(m.insn.rs1()) as u32) >> (h.x(m.insn.rs2()) & 31)) as i32;
+            h.set_x(m.insn.rd(), v as i64 as u64);
+            h.advance(m)
+        },
+        Op::Sraw => |h, m| {
+            let v = (h.x(m.insn.rs1()) as i32) >> (h.x(m.insn.rs2()) & 31);
+            h.set_x(m.insn.rd(), v as i64 as u64);
+            h.advance(m)
+        },
+        // ---- RV64I: fence and system -------------------------------
+        // A single in-order hart: fences are architectural no-ops.
+        Op::Fence => |h, m| h.advance(m),
+        Op::Ecall => |_, _| Err(Trap::EnvironmentCall),
+        Op::Ebreak => |_, m| Err(Trap::Breakpoint { addr: m.pc }),
+        // ---- RV64M -------------------------------------------------
+        Op::Mul => |h, m| {
+            let v = h.x(m.insn.rs1()).wrapping_mul(h.x(m.insn.rs2()));
+            h.set_x(m.insn.rd(), v);
+            h.advance(m)
+        },
+        Op::Mulh => |h, m| {
+            let a = i128::from(h.x(m.insn.rs1()) as i64);
+            let b = i128::from(h.x(m.insn.rs2()) as i64);
+            h.set_x(m.insn.rd(), ((a * b) >> 64) as u64);
+            h.advance(m)
+        },
+        Op::Mulhsu => |h, m| {
+            let a = i128::from(h.x(m.insn.rs1()) as i64);
+            let b = i128::from(h.x(m.insn.rs2()));
+            h.set_x(m.insn.rd(), ((a * b) >> 64) as u64);
+            h.advance(m)
+        },
+        Op::Mulhu => |h, m| {
+            let a = u128::from(h.x(m.insn.rs1()));
+            let b = u128::from(h.x(m.insn.rs2()));
+            h.set_x(m.insn.rd(), ((a * b) >> 64) as u64);
+            h.advance(m)
+        },
+        Op::Div => |h, m| {
+            let (a, b) = (h.x(m.insn.rs1()) as i64, h.x(m.insn.rs2()) as i64);
+            let v = if b == 0 { -1 } else { a.wrapping_div(b) };
+            h.set_x(m.insn.rd(), v as u64);
+            h.advance(m)
+        },
+        Op::Divu => |h, m| {
+            let (a, b) = (h.x(m.insn.rs1()), h.x(m.insn.rs2()));
+            h.set_x(m.insn.rd(), a.checked_div(b).unwrap_or(u64::MAX));
+            h.advance(m)
+        },
+        Op::Rem => |h, m| {
+            let (a, b) = (h.x(m.insn.rs1()) as i64, h.x(m.insn.rs2()) as i64);
+            let v = if b == 0 { a } else { a.wrapping_rem(b) };
+            h.set_x(m.insn.rd(), v as u64);
+            h.advance(m)
+        },
+        Op::Remu => |h, m| {
+            let (a, b) = (h.x(m.insn.rs1()), h.x(m.insn.rs2()));
+            let v = if b == 0 { a } else { a % b };
+            h.set_x(m.insn.rd(), v);
+            h.advance(m)
+        },
+        Op::Mulw => |h, m| {
+            let v = (h.x(m.insn.rs1()) as i32).wrapping_mul(h.x(m.insn.rs2()) as i32);
+            h.set_x(m.insn.rd(), v as i64 as u64);
+            h.advance(m)
+        },
+        Op::Divw => |h, m| {
+            let (a, b) = (h.x(m.insn.rs1()) as i32, h.x(m.insn.rs2()) as i32);
+            let v = if b == 0 { -1 } else { a.wrapping_div(b) };
+            h.set_x(m.insn.rd(), v as i64 as u64);
+            h.advance(m)
+        },
+        Op::Divuw => |h, m| {
+            let (a, b) = (h.x(m.insn.rs1()) as u32, h.x(m.insn.rs2()) as u32);
+            let v = a.checked_div(b).unwrap_or(u32::MAX);
+            h.set_x(m.insn.rd(), v as i32 as i64 as u64);
+            h.advance(m)
+        },
+        Op::Remw => |h, m| {
+            let (a, b) = (h.x(m.insn.rs1()) as i32, h.x(m.insn.rs2()) as i32);
+            let v = if b == 0 { a } else { a.wrapping_rem(b) };
+            h.set_x(m.insn.rd(), v as i64 as u64);
+            h.advance(m)
+        },
+        Op::Remuw => |h, m| {
+            let (a, b) = (h.x(m.insn.rs1()) as u32, h.x(m.insn.rs2()) as u32);
+            let v = if b == 0 { a } else { a % b };
+            h.set_x(m.insn.rd(), v as i32 as i64 as u64);
+            h.advance(m)
+        },
+        // ---- RV64A -------------------------------------------------
+        Op::LrW => |h, m| {
+            h.load_reserved(m.insn, 4)?;
+            h.advance(m)
+        },
+        Op::LrD => |h, m| {
+            h.load_reserved(m.insn, 8)?;
+            h.advance(m)
+        },
+        Op::ScW => |h, m| {
+            h.store_conditional(m.insn, 4)?;
+            h.advance(m)
+        },
+        Op::ScD => |h, m| {
+            h.store_conditional(m.insn, 8)?;
+            h.advance(m)
+        },
+        Op::AmoswapW => |h, m| {
+            h.amo32(m.insn, |_, s| s)?;
+            h.advance(m)
+        },
+        Op::AmoaddW => |h, m| {
+            h.amo32(m.insn, u32::wrapping_add)?;
+            h.advance(m)
+        },
+        Op::AmoxorW => |h, m| {
+            h.amo32(m.insn, |o, s| o ^ s)?;
+            h.advance(m)
+        },
+        Op::AmoandW => |h, m| {
+            h.amo32(m.insn, |o, s| o & s)?;
+            h.advance(m)
+        },
+        Op::AmoorW => |h, m| {
+            h.amo32(m.insn, |o, s| o | s)?;
+            h.advance(m)
+        },
+        Op::AmominW => |h, m| {
+            h.amo32(m.insn, |o, s| (o as i32).min(s as i32) as u32)?;
+            h.advance(m)
+        },
+        Op::AmomaxW => |h, m| {
+            h.amo32(m.insn, |o, s| (o as i32).max(s as i32) as u32)?;
+            h.advance(m)
+        },
+        Op::AmominuW => |h, m| {
+            h.amo32(m.insn, u32::min)?;
+            h.advance(m)
+        },
+        Op::AmomaxuW => |h, m| {
+            h.amo32(m.insn, u32::max)?;
+            h.advance(m)
+        },
+        Op::AmoswapD => |h, m| {
+            h.amo64(m.insn, |_, s| s)?;
+            h.advance(m)
+        },
+        Op::AmoaddD => |h, m| {
+            h.amo64(m.insn, u64::wrapping_add)?;
+            h.advance(m)
+        },
+        Op::AmoxorD => |h, m| {
+            h.amo64(m.insn, |o, s| o ^ s)?;
+            h.advance(m)
+        },
+        Op::AmoandD => |h, m| {
+            h.amo64(m.insn, |o, s| o & s)?;
+            h.advance(m)
+        },
+        Op::AmoorD => |h, m| {
+            h.amo64(m.insn, |o, s| o | s)?;
+            h.advance(m)
+        },
+        Op::AmominD => |h, m| {
+            h.amo64(m.insn, |o, s| (o as i64).min(s as i64) as u64)?;
+            h.advance(m)
+        },
+        Op::AmomaxD => |h, m| {
+            h.amo64(m.insn, |o, s| (o as i64).max(s as i64) as u64)?;
+            h.advance(m)
+        },
+        Op::AmominuD => |h, m| {
+            h.amo64(m.insn, u64::min)?;
+            h.advance(m)
+        },
+        Op::AmomaxuD => |h, m| {
+            h.amo64(m.insn, u64::max)?;
+            h.advance(m)
+        },
+        // ---- RV64F -------------------------------------------------
+        Op::Flw => |h, m| {
+            h.fp_load(m.insn, m.word, 4)?;
+            h.advance(m)
+        },
+        Op::Fsw => |h, m| {
+            h.fp_store(m.insn, m.word, 4)?;
+            h.advance(m)
+        },
+        Op::FmaddS => |h, m| {
+            h.fp_fma_s(m.insn, m.word, false, false)?;
+            h.advance(m)
+        },
+        Op::FmsubS => |h, m| {
+            h.fp_fma_s(m.insn, m.word, false, true)?;
+            h.advance(m)
+        },
+        Op::FnmsubS => |h, m| {
+            h.fp_fma_s(m.insn, m.word, true, false)?;
+            h.advance(m)
+        },
+        Op::FnmaddS => |h, m| {
+            h.fp_fma_s(m.insn, m.word, true, true)?;
+            h.advance(m)
+        },
+        Op::FaddS => |h, m| {
+            h.fp_bin_s(m.insn, m.word, sp::add)?;
+            h.advance(m)
+        },
+        Op::FsubS => |h, m| {
+            h.fp_bin_s(m.insn, m.word, sp::sub)?;
+            h.advance(m)
+        },
+        Op::FmulS => |h, m| {
+            h.fp_bin_s(m.insn, m.word, sp::mul)?;
+            h.advance(m)
+        },
+        Op::FdivS => |h, m| {
+            h.fp_bin_s(m.insn, m.word, sp::div)?;
+            h.advance(m)
+        },
+        Op::FsqrtS => |h, m| {
+            h.fp_guard(m.word)?;
+            let rm = h.resolve_rm(m.insn, m.word)?;
+            let (v, flags) = sp::sqrt(h.state.f32(Hart::f(m.insn.rs1())), rm);
+            h.state.set_f32(Hart::f(m.insn.rd()), v);
+            h.accrue(flags);
+            h.advance(m)
+        },
+        Op::FsgnjS => |h, m| {
+            h.fsgnj_s(m.insn, m.word, 0)?;
+            h.advance(m)
+        },
+        Op::FsgnjnS => |h, m| {
+            h.fsgnj_s(m.insn, m.word, 1)?;
+            h.advance(m)
+        },
+        Op::FsgnjxS => |h, m| {
+            h.fsgnj_s(m.insn, m.word, 2)?;
+            h.advance(m)
+        },
+        Op::FminS => |h, m| {
+            h.fp_bin_s(m.insn, m.word, |a, b, _| sp::min(a, b))?;
+            h.advance(m)
+        },
+        Op::FmaxS => |h, m| {
+            h.fp_bin_s(m.insn, m.word, |a, b, _| sp::max(a, b))?;
+            h.advance(m)
+        },
+        Op::FeqS => |h, m| {
+            h.fp_cmp_s(m.insn, m.word, sp::feq)?;
+            h.advance(m)
+        },
+        Op::FltS => |h, m| {
+            h.fp_cmp_s(m.insn, m.word, sp::flt)?;
+            h.advance(m)
+        },
+        Op::FleS => |h, m| {
+            h.fp_cmp_s(m.insn, m.word, sp::fle)?;
+            h.advance(m)
+        },
+        Op::FclassS => |h, m| {
+            h.fp_guard(m.word)?;
+            let v = sp::fclass(h.state.f32(Hart::f(m.insn.rs1())));
+            h.set_x(m.insn.rd(), v);
+            h.advance(m)
+        },
+        Op::FcvtWS => |h, m| {
+            h.fcvt_to_int_s(m.insn, m.word, |v, rm| {
                 let (r, f) = fpu::f32_to_i32(v, rm);
                 (r as i64 as u64, f)
-            })?,
-            Op::FcvtWuS => self.fcvt_to_int_s(insn, word, |v, rm| {
+            })?;
+            h.advance(m)
+        },
+        Op::FcvtWuS => |h, m| {
+            h.fcvt_to_int_s(m.insn, m.word, |v, rm| {
                 let (r, f) = fpu::f32_to_u32(v, rm);
                 (r as i32 as i64 as u64, f)
-            })?,
-            Op::FcvtLS => self.fcvt_to_int_s(insn, word, |v, rm| {
+            })?;
+            h.advance(m)
+        },
+        Op::FcvtLS => |h, m| {
+            h.fcvt_to_int_s(m.insn, m.word, |v, rm| {
                 let (r, f) = fpu::f32_to_i64(v, rm);
                 (r as u64, f)
-            })?,
-            Op::FcvtLuS => self.fcvt_to_int_s(insn, word, fpu::f32_to_u64)?,
-            Op::FcvtSW => {
-                let v = i128::from(self.x(insn.rs1()) as i32);
-                self.fcvt_from_int_s(insn, word, v)?;
-            }
-            Op::FcvtSWu => {
-                let v = i128::from(self.x(insn.rs1()) as u32);
-                self.fcvt_from_int_s(insn, word, v)?;
-            }
-            Op::FcvtSL => {
-                let v = i128::from(self.x(insn.rs1()) as i64);
-                self.fcvt_from_int_s(insn, word, v)?;
-            }
-            Op::FcvtSLu => {
-                let v = i128::from(self.x(insn.rs1()));
-                self.fcvt_from_int_s(insn, word, v)?;
-            }
-            Op::FmvXW => {
-                self.fp_guard(word)?;
-                let bits = self.state.f_bits(Self::f(insn.rs1())) as u32;
-                self.set_x(insn.rd(), bits as i32 as i64 as u64);
-            }
-            Op::FmvWX => {
-                self.fp_guard(word)?;
-                let bits = self.x(insn.rs1()) as u32;
-                self.state.set_f32(Self::f(insn.rd()), f32::from_bits(bits));
-            }
-            // ---- RV64D -------------------------------------------------
-            Op::Fld => self.fp_load(insn, word, 8)?,
-            Op::Fsd => self.fp_store(insn, word, 8)?,
-            Op::FmaddD => self.fp_fma_d(insn, word, false, false)?,
-            Op::FmsubD => self.fp_fma_d(insn, word, false, true)?,
-            Op::FnmsubD => self.fp_fma_d(insn, word, true, false)?,
-            Op::FnmaddD => self.fp_fma_d(insn, word, true, true)?,
-            Op::FaddD => self.fp_bin_d(insn, word, dp::add)?,
-            Op::FsubD => self.fp_bin_d(insn, word, dp::sub)?,
-            Op::FmulD => self.fp_bin_d(insn, word, dp::mul)?,
-            Op::FdivD => self.fp_bin_d(insn, word, dp::div)?,
-            Op::FsqrtD => {
-                self.fp_guard(word)?;
-                let rm = self.resolve_rm(insn, word)?;
-                let (v, flags) = dp::sqrt(self.state.f64(Self::f(insn.rs1())), rm);
-                self.state.set_f64(Self::f(insn.rd()), v);
-                self.accrue(flags);
-            }
-            Op::FsgnjD => self.fsgnj_d(insn, word, 0)?,
-            Op::FsgnjnD => self.fsgnj_d(insn, word, 1)?,
-            Op::FsgnjxD => self.fsgnj_d(insn, word, 2)?,
-            Op::FminD => self.fp_bin_d(insn, word, |a, b, _| dp::min(a, b))?,
-            Op::FmaxD => self.fp_bin_d(insn, word, |a, b, _| dp::max(a, b))?,
-            Op::FeqD => self.fp_cmp_d(insn, word, dp::feq)?,
-            Op::FltD => self.fp_cmp_d(insn, word, dp::flt)?,
-            Op::FleD => self.fp_cmp_d(insn, word, dp::fle)?,
-            Op::FclassD => {
-                self.fp_guard(word)?;
-                let v = dp::fclass(self.state.f64(Self::f(insn.rs1())));
-                self.set_x(insn.rd(), v);
-            }
-            Op::FcvtSD => {
-                self.fp_guard(word)?;
-                let rm = self.resolve_rm(insn, word)?;
-                let (v, flags) = fpu::f64_to_f32(self.state.f64(Self::f(insn.rs1())), rm);
-                self.state.set_f32(Self::f(insn.rd()), v);
-                self.accrue(flags);
-            }
-            Op::FcvtDS => {
-                self.fp_guard(word)?;
-                let (v, flags) = fpu::f32_to_f64(self.state.f32(Self::f(insn.rs1())));
-                self.state.set_f64(Self::f(insn.rd()), v);
-                self.accrue(flags);
-            }
-            Op::FcvtWD => self.fcvt_to_int_d(insn, word, |v, rm| {
+            })?;
+            h.advance(m)
+        },
+        Op::FcvtLuS => |h, m| {
+            h.fcvt_to_int_s(m.insn, m.word, fpu::f32_to_u64)?;
+            h.advance(m)
+        },
+        Op::FcvtSW => |h, m| {
+            let v = i128::from(h.x(m.insn.rs1()) as i32);
+            h.fcvt_from_int_s(m.insn, m.word, v)?;
+            h.advance(m)
+        },
+        Op::FcvtSWu => |h, m| {
+            let v = i128::from(h.x(m.insn.rs1()) as u32);
+            h.fcvt_from_int_s(m.insn, m.word, v)?;
+            h.advance(m)
+        },
+        Op::FcvtSL => |h, m| {
+            let v = i128::from(h.x(m.insn.rs1()) as i64);
+            h.fcvt_from_int_s(m.insn, m.word, v)?;
+            h.advance(m)
+        },
+        Op::FcvtSLu => |h, m| {
+            let v = i128::from(h.x(m.insn.rs1()));
+            h.fcvt_from_int_s(m.insn, m.word, v)?;
+            h.advance(m)
+        },
+        Op::FmvXW => |h, m| {
+            h.fp_guard(m.word)?;
+            let bits = h.state.f_bits(Hart::f(m.insn.rs1())) as u32;
+            h.set_x(m.insn.rd(), bits as i32 as i64 as u64);
+            h.advance(m)
+        },
+        Op::FmvWX => |h, m| {
+            h.fp_guard(m.word)?;
+            let bits = h.x(m.insn.rs1()) as u32;
+            h.state.set_f32(Hart::f(m.insn.rd()), f32::from_bits(bits));
+            h.advance(m)
+        },
+        // ---- RV64D -------------------------------------------------
+        Op::Fld => |h, m| {
+            h.fp_load(m.insn, m.word, 8)?;
+            h.advance(m)
+        },
+        Op::Fsd => |h, m| {
+            h.fp_store(m.insn, m.word, 8)?;
+            h.advance(m)
+        },
+        Op::FmaddD => |h, m| {
+            h.fp_fma_d(m.insn, m.word, false, false)?;
+            h.advance(m)
+        },
+        Op::FmsubD => |h, m| {
+            h.fp_fma_d(m.insn, m.word, false, true)?;
+            h.advance(m)
+        },
+        Op::FnmsubD => |h, m| {
+            h.fp_fma_d(m.insn, m.word, true, false)?;
+            h.advance(m)
+        },
+        Op::FnmaddD => |h, m| {
+            h.fp_fma_d(m.insn, m.word, true, true)?;
+            h.advance(m)
+        },
+        Op::FaddD => |h, m| {
+            h.fp_bin_d(m.insn, m.word, dp::add)?;
+            h.advance(m)
+        },
+        Op::FsubD => |h, m| {
+            h.fp_bin_d(m.insn, m.word, dp::sub)?;
+            h.advance(m)
+        },
+        Op::FmulD => |h, m| {
+            h.fp_bin_d(m.insn, m.word, dp::mul)?;
+            h.advance(m)
+        },
+        Op::FdivD => |h, m| {
+            h.fp_bin_d(m.insn, m.word, dp::div)?;
+            h.advance(m)
+        },
+        Op::FsqrtD => |h, m| {
+            h.fp_guard(m.word)?;
+            let rm = h.resolve_rm(m.insn, m.word)?;
+            let (v, flags) = dp::sqrt(h.state.f64(Hart::f(m.insn.rs1())), rm);
+            h.state.set_f64(Hart::f(m.insn.rd()), v);
+            h.accrue(flags);
+            h.advance(m)
+        },
+        Op::FsgnjD => |h, m| {
+            h.fsgnj_d(m.insn, m.word, 0)?;
+            h.advance(m)
+        },
+        Op::FsgnjnD => |h, m| {
+            h.fsgnj_d(m.insn, m.word, 1)?;
+            h.advance(m)
+        },
+        Op::FsgnjxD => |h, m| {
+            h.fsgnj_d(m.insn, m.word, 2)?;
+            h.advance(m)
+        },
+        Op::FminD => |h, m| {
+            h.fp_bin_d(m.insn, m.word, |a, b, _| dp::min(a, b))?;
+            h.advance(m)
+        },
+        Op::FmaxD => |h, m| {
+            h.fp_bin_d(m.insn, m.word, |a, b, _| dp::max(a, b))?;
+            h.advance(m)
+        },
+        Op::FeqD => |h, m| {
+            h.fp_cmp_d(m.insn, m.word, dp::feq)?;
+            h.advance(m)
+        },
+        Op::FltD => |h, m| {
+            h.fp_cmp_d(m.insn, m.word, dp::flt)?;
+            h.advance(m)
+        },
+        Op::FleD => |h, m| {
+            h.fp_cmp_d(m.insn, m.word, dp::fle)?;
+            h.advance(m)
+        },
+        Op::FclassD => |h, m| {
+            h.fp_guard(m.word)?;
+            let v = dp::fclass(h.state.f64(Hart::f(m.insn.rs1())));
+            h.set_x(m.insn.rd(), v);
+            h.advance(m)
+        },
+        Op::FcvtSD => |h, m| {
+            h.fp_guard(m.word)?;
+            let rm = h.resolve_rm(m.insn, m.word)?;
+            let (v, flags) = fpu::f64_to_f32(h.state.f64(Hart::f(m.insn.rs1())), rm);
+            h.state.set_f32(Hart::f(m.insn.rd()), v);
+            h.accrue(flags);
+            h.advance(m)
+        },
+        Op::FcvtDS => |h, m| {
+            h.fp_guard(m.word)?;
+            let (v, flags) = fpu::f32_to_f64(h.state.f32(Hart::f(m.insn.rs1())));
+            h.state.set_f64(Hart::f(m.insn.rd()), v);
+            h.accrue(flags);
+            h.advance(m)
+        },
+        Op::FcvtWD => |h, m| {
+            h.fcvt_to_int_d(m.insn, m.word, |v, rm| {
                 let (r, f) = fpu::f64_to_i32(v, rm);
                 (r as i64 as u64, f)
-            })?,
-            Op::FcvtWuD => self.fcvt_to_int_d(insn, word, |v, rm| {
+            })?;
+            h.advance(m)
+        },
+        Op::FcvtWuD => |h, m| {
+            h.fcvt_to_int_d(m.insn, m.word, |v, rm| {
                 let (r, f) = fpu::f64_to_u32(v, rm);
                 (r as i32 as i64 as u64, f)
-            })?,
-            Op::FcvtLD => self.fcvt_to_int_d(insn, word, |v, rm| {
+            })?;
+            h.advance(m)
+        },
+        Op::FcvtLD => |h, m| {
+            h.fcvt_to_int_d(m.insn, m.word, |v, rm| {
                 let (r, f) = fpu::f64_to_i64(v, rm);
                 (r as u64, f)
-            })?,
-            Op::FcvtLuD => self.fcvt_to_int_d(insn, word, fpu::f64_to_u64)?,
-            Op::FcvtDW => {
-                let v = i128::from(self.x(insn.rs1()) as i32);
-                self.fcvt_from_int_d(insn, word, v)?;
-            }
-            Op::FcvtDWu => {
-                let v = i128::from(self.x(insn.rs1()) as u32);
-                self.fcvt_from_int_d(insn, word, v)?;
-            }
-            Op::FcvtDL => {
-                let v = i128::from(self.x(insn.rs1()) as i64);
-                self.fcvt_from_int_d(insn, word, v)?;
-            }
-            Op::FcvtDLu => {
-                let v = i128::from(self.x(insn.rs1()));
-                self.fcvt_from_int_d(insn, word, v)?;
-            }
-            Op::FmvXD => {
-                self.fp_guard(word)?;
-                let bits = self.state.f_bits(Self::f(insn.rs1()));
-                self.set_x(insn.rd(), bits);
-            }
-            Op::FmvDX => {
-                self.fp_guard(word)?;
-                let bits = self.x(insn.rs1());
-                self.state.set_f_bits(Self::f(insn.rd()), bits);
-            }
-            // ---- Zicsr -------------------------------------------------
-            Op::Csrrw | Op::Csrrs | Op::Csrrc | Op::Csrrwi | Op::Csrrsi | Op::Csrrci => {
-                self.csr_op(insn, word)?;
-            }
-        }
-        self.state.set_pc(next);
-        Ok(())
+            })?;
+            h.advance(m)
+        },
+        Op::FcvtLuD => |h, m| {
+            h.fcvt_to_int_d(m.insn, m.word, fpu::f64_to_u64)?;
+            h.advance(m)
+        },
+        Op::FcvtDW => |h, m| {
+            let v = i128::from(h.x(m.insn.rs1()) as i32);
+            h.fcvt_from_int_d(m.insn, m.word, v)?;
+            h.advance(m)
+        },
+        Op::FcvtDWu => |h, m| {
+            let v = i128::from(h.x(m.insn.rs1()) as u32);
+            h.fcvt_from_int_d(m.insn, m.word, v)?;
+            h.advance(m)
+        },
+        Op::FcvtDL => |h, m| {
+            let v = i128::from(h.x(m.insn.rs1()) as i64);
+            h.fcvt_from_int_d(m.insn, m.word, v)?;
+            h.advance(m)
+        },
+        Op::FcvtDLu => |h, m| {
+            let v = i128::from(h.x(m.insn.rs1()));
+            h.fcvt_from_int_d(m.insn, m.word, v)?;
+            h.advance(m)
+        },
+        Op::FmvXD => |h, m| {
+            h.fp_guard(m.word)?;
+            let bits = h.state.f_bits(Hart::f(m.insn.rs1()));
+            h.set_x(m.insn.rd(), bits);
+            h.advance(m)
+        },
+        Op::FmvDX => |h, m| {
+            h.fp_guard(m.word)?;
+            let bits = h.x(m.insn.rs1());
+            h.state.set_f_bits(Hart::f(m.insn.rd()), bits);
+            h.advance(m)
+        },
+        // ---- Zicsr -------------------------------------------------
+        Op::Csrrw | Op::Csrrs | Op::Csrrc | Op::Csrrwi | Op::Csrrsi | Op::Csrrci => |h, m| {
+            h.csr_op(m.insn, m.word)?;
+            h.advance(m)
+        },
     }
 }
 

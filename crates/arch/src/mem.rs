@@ -16,7 +16,7 @@
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 
-use crate::digest::WideFnv;
+use crate::digest::{DeferredFold, WideFnv};
 
 /// Bytes per backing page.
 pub const PAGE_SIZE: u64 = 4096;
@@ -47,7 +47,16 @@ pub struct Memory {
     cache: RefCell<DigestCache>,
     // Cumulative fold of every store since construction (see
     // [`Memory::write_history`]); bookkeeping, not state.
-    history: WideFnv,
+    history: DeferredFold,
+    // Watched code range and its generation counters: every store
+    // overlapping `code_watch` bumps `code_gen` and stamps the new value
+    // on each overlapped 4-byte word in `code_word_gens`, so the hart's
+    // predecoded-block cache validates an untouched block with one
+    // integer compare and a touched-generation block with an L1 slice
+    // scan — never by re-reading instruction words.
+    code_watch: (u64, u64),
+    code_gen: u64,
+    code_word_gens: Vec<u64>,
 }
 
 impl Memory {
@@ -58,8 +67,58 @@ impl Memory {
             pages: BTreeMap::new(),
             size,
             cache: RefCell::new(DigestCache::default()),
-            history: WideFnv::new(),
+            history: DeferredFold::new(),
+            code_watch: (0, 0),
+            code_gen: 0,
+            code_word_gens: Vec::new(),
         }
+    }
+
+    /// Watch `start..end` as the code range: any store overlapping it
+    /// bumps the generation counter returned by
+    /// [`Memory::code_generation`] and stamps the overlapped 4-byte
+    /// words (see [`Memory::code_range_unchanged`]). A single range is
+    /// enough because the hart only predecodes blocks inside the loaded
+    /// program image.
+    pub fn set_code_watch(&mut self, start: u64, end: u64) {
+        self.code_watch = (start, end);
+        self.code_gen = self.code_gen.wrapping_add(1);
+        let words = usize::try_from(end.saturating_sub(start).div_ceil(4)).unwrap_or(0);
+        self.code_word_gens.clear();
+        self.code_word_gens.resize(words, self.code_gen);
+    }
+
+    /// Generation counter of the watched code range; changes (only) when
+    /// a store may have modified watched bytes or the watch itself moved.
+    /// Equal generations guarantee the watched bytes are unchanged; a
+    /// changed generation says nothing more than "re-validate".
+    #[must_use]
+    pub fn code_generation(&self) -> u64 {
+        self.code_gen
+    }
+
+    /// True when none of the `words` 4-byte code words starting at
+    /// `addr` have been stored to since generation `since` — the cheap
+    /// per-block re-validation behind [`Memory::code_generation`]: a
+    /// store elsewhere in the watched range moves the global generation
+    /// but leaves these word stamps behind, proving this block's bytes
+    /// are intact without re-reading them. Returns `false` for any
+    /// address outside the watched range.
+    #[must_use]
+    pub fn code_range_unchanged(&self, addr: u64, words: usize, since: u64) -> bool {
+        let Some(start) = addr.checked_sub(self.code_watch.0) else {
+            return false;
+        };
+        let Ok(start) = usize::try_from(start / 4) else {
+            return false;
+        };
+        let Some(end) = start.checked_add(words) else {
+            return false;
+        };
+        let Some(stamps) = self.code_word_gens.get(start..end) else {
+            return false;
+        };
+        stamps.iter().all(|&stamp| stamp <= since)
     }
 
     /// The configured size in bytes.
@@ -126,6 +185,19 @@ impl Memory {
             let mut word = [0u8; 8];
             word[..chunk.len()].copy_from_slice(chunk);
             self.history.write_u64(u64::from_le_bytes(word));
+        }
+        if addr < self.code_watch.1 && addr + N as u64 > self.code_watch.0 {
+            self.code_gen = self.code_gen.wrapping_add(1);
+            let first = (addr.max(self.code_watch.0) - self.code_watch.0) / 4;
+            let last = (addr + N as u64 - 1).min(self.code_watch.1 - 1) - self.code_watch.0;
+            for word in first..=last / 4 {
+                if let Some(stamp) = self
+                    .code_word_gens
+                    .get_mut(usize::try_from(word).unwrap_or(usize::MAX))
+                {
+                    *stamp = self.code_gen;
+                }
+            }
         }
         self.mark_dirty(addr, N as u64);
         let offset = (addr % PAGE_SIZE) as usize;
@@ -329,6 +401,29 @@ mod tests {
         mem.store_u64(addr, 0x0102_0304_0506_0708).unwrap();
         assert_eq!(mem.load_u64(addr), Some(0x0102_0304_0506_0708));
         assert_eq!(mem.resident_pages(), 2);
+    }
+
+    #[test]
+    fn code_generation_tracks_only_watched_stores() {
+        let mut mem = Memory::new(1 << 20);
+        let g0 = mem.code_generation();
+        mem.store_u64(0x100, 1).unwrap();
+        assert_eq!(mem.code_generation(), g0, "no watch: stores never bump");
+        mem.set_code_watch(0x40, 0x80);
+        let g1 = mem.code_generation();
+        assert_ne!(g1, g0, "moving the watch itself must invalidate");
+        mem.store_u64(0x100, 2).unwrap();
+        mem.store_u8(0x3F, 7).unwrap();
+        mem.store_u8(0x80, 7).unwrap();
+        assert_eq!(mem.code_generation(), g1, "stores outside the watch");
+        mem.store_u8(0x40, 7).unwrap();
+        let g2 = mem.code_generation();
+        assert_ne!(g2, g1, "store inside the watch bumps");
+        mem.store_u64(0x3C, 0).unwrap();
+        assert_ne!(mem.code_generation(), g2, "straddling store bumps");
+        let g3 = mem.code_generation();
+        assert_eq!(mem.store_u32((1 << 20) - 2, 1), None);
+        assert_eq!(mem.code_generation(), g3, "rejected store cannot bump");
     }
 
     #[test]

@@ -8,6 +8,13 @@
 //! campaign pointed at a mutant must flag a divergence, and the step it
 //! localises must be one where the scenario actually fired — this is the
 //! end-to-end self-test of the differential engine.
+//!
+//! Mutants implement only [`Dut::step`] and therefore inherit the
+//! default per-step [`Dut::run`] schedule — they deliberately do *not*
+//! take the golden hart's native block engine, because every bug hook
+//! wraps an individual `step` and must observe every instruction. The
+//! `run_native` integration test pins this: wrapping a mutant so it
+//! cannot be batch-run changes nothing, bit for bit.
 
 use tf_riscv::csr;
 use tf_riscv::{Extension, Gpr, Instruction, Opcode, RoundingMode};

@@ -5,7 +5,7 @@ use std::cell::{Cell, RefCell};
 use tf_riscv::csr::{self, mi, mstatus, mtvec, CsrAddr};
 use tf_riscv::{Fpr, Gpr};
 
-use crate::digest::WideFnv;
+use crate::digest::{DeferredFold, WideFnv};
 
 /// `misa` for this model: RV64 (MXL=2) with the I, M, A, F, D extensions.
 pub const MISA: u64 = (2 << 62) | (1 << 0) | (1 << 3) | (1 << 5) | (1 << 8) | (1 << 12);
@@ -39,8 +39,9 @@ pub struct CsrFile {
     scause: u64,
     stval: u64,
     // Cumulative fold of every architectural mutation since reset (see
-    // [`ArchState::write_history`]); bookkeeping, not state.
-    history: WideFnv,
+    // [`ArchState::write_history`]); bookkeeping, not state. Deferred:
+    // per-write folds land in a small buffer and amortize at digest time.
+    history: DeferredFold,
 }
 
 /// History-fold tag for [`CsrFile::accrue_fflags`]; outside the 12-bit
@@ -260,8 +261,9 @@ pub struct ArchState {
     csr_hash: Cell<u64>,
     csr_dirty: Cell<bool>,
     // Cumulative fold of every register write since reset (see
-    // [`ArchState::write_history`]); bookkeeping, not state.
-    history: WideFnv,
+    // [`ArchState::write_history`]); bookkeeping, not state. Deferred:
+    // per-write folds land in a small buffer and amortize at digest time.
+    history: DeferredFold,
 }
 
 impl PartialEq for ArchState {
@@ -297,7 +299,7 @@ impl ArchState {
             pending_mask: Cell::new(0),
             csr_hash: Cell::new(0),
             csr_dirty: Cell::new(true),
-            history: WideFnv::new(),
+            history: DeferredFold::new(),
         };
         state.reg_acc.set(state.reg_acc_from_scratch());
         state

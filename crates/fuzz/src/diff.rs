@@ -17,6 +17,13 @@
 //! the paper's bug-scenario localisation: not just *that* the device
 //! differs, but the exact instruction where it went wrong.
 //!
+//! The reference's [`Dut::run`] is the hart's native predecoded-block
+//! engine (see `tf_arch::Hart`), which is proven bit-identical to the
+//! default per-step trait body — so the windowed fast path, the exact
+//! replay and the `window == 1` loop all agree on every sample, every
+//! verdict and every replayed trace regardless of which engine produced
+//! them.
+//!
 //! Windowed detection loses no sensitivity: each sample folds not just
 //! the state digest but the device's cumulative *write history*
 //! ([`tf_arch::Dut::write_history`], via [`tf_arch::fold_sample`]), and

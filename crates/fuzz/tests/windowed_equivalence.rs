@@ -76,6 +76,88 @@ fn sweep(scenario: Option<BugScenario>) {
     }
 }
 
+/// Forwards every [`Dut`] method except `run`, which stays the default
+/// per-step trait body. Campaigns driven through this wrapper take the
+/// exact schedule the native block engine must reproduce.
+struct PerStep<D: Dut>(D);
+
+impl<D: Dut> Dut for PerStep<D> {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+    fn reset(&mut self) {
+        self.0.reset();
+    }
+    fn load(&mut self, base: u64, program: &[tf_riscv::Instruction]) -> Result<(), tf_arch::Trap> {
+        self.0.load(base, program)
+    }
+    fn step(&mut self) -> tf_arch::StepOutcome {
+        self.0.step()
+    }
+    fn digest(&self) -> u64 {
+        self.0.digest()
+    }
+    fn write_history(&self) -> u64 {
+        self.0.write_history()
+    }
+    fn enable_tracing(&mut self) {
+        self.0.enable_tracing();
+    }
+    fn take_trace(&mut self) -> Option<tf_arch::ExecutionTrace> {
+        self.0.take_trace()
+    }
+}
+
+/// Whole-campaign stdout is byte-identical whether the reference hart
+/// runs its native block engine or the default per-step `Dut::run`: the
+/// merged [`CampaignReport`] rendering (the campaign's stdout surface)
+/// and every per-worker counter must match exactly, clean and divergent
+/// alike.
+#[test]
+fn campaign_stdout_is_identical_under_the_native_run_engine() {
+    let config = CampaignConfig::default()
+        .with_seed(0xD1FF)
+        .with_instruction_budget(6_000)
+        .with_mem_size(MEM)
+        .with_max_steps_per_program(MAX_STEPS);
+    for jobs in [1, 2] {
+        let native = run_sharded(&config, jobs, |_| Hart::new(MEM));
+        let per_step = run_sharded(&config, jobs, |_| PerStep(Hart::new(MEM)));
+        assert_eq!(
+            native.merged.to_string(),
+            per_step.merged.to_string(),
+            "campaign stdout drifted under the native engine (jobs {jobs})"
+        );
+        assert_eq!(
+            native.merged, per_step.merged,
+            "merged reports (jobs {jobs})"
+        );
+        assert_eq!(
+            native.workers, per_step.workers,
+            "worker reports (jobs {jobs})"
+        );
+        // Divergent campaigns too: a mutant DUT against the native
+        // reference must render the same divergence text as against the
+        // per-step reference.
+        for scenario in BugScenario::ALL {
+            let native = run_sharded(&config, jobs, |_| MutantHart::new(MEM, scenario));
+            let per_step = run_sharded(&config, jobs, |_| PerStep(MutantHart::new(MEM, scenario)));
+            assert_eq!(
+                native.merged.to_string(),
+                per_step.merged.to_string(),
+                "{} campaign stdout drifted (jobs {jobs})",
+                scenario.id()
+            );
+            assert_eq!(
+                native.workers,
+                per_step.workers,
+                "{} workers",
+                scenario.id()
+            );
+        }
+    }
+}
+
 #[test]
 fn clean_reference_agrees_at_every_window() {
     sweep(None);
