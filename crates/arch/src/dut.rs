@@ -39,6 +39,78 @@ pub struct BatchOutcome {
     /// sample is [`fold_sample`] of the state digest, the write history
     /// and the retired instruction count at that point.
     pub samples: Vec<u64>,
+    /// Running [`fold_pc_pair`] over every step's control-flow
+    /// transition (fetch pc → post-step pc), trapped steps included.
+    /// Starts at [`PC_PAIRS_SEED`]; two runs with the same `pc_pairs`
+    /// took the same path to the resolution of the fold. Campaigns use
+    /// it as a cheap path-coverage key.
+    pub pc_pairs: u64,
+    /// [`fold_op_classes`] of the retired-instruction opcode-class
+    /// histogram (major-opcode buckets; trapped steps count nothing).
+    /// Campaigns use it as an instruction-mix coverage key.
+    pub op_classes: u64,
+}
+
+impl Default for BatchOutcome {
+    /// Scratch-initialisation values for [`Dut::run_into`]; a default
+    /// outcome is *not* what a zero-step run produces (that still takes
+    /// its final sample).
+    fn default() -> Self {
+        BatchOutcome {
+            steps: 0,
+            exit: RunExit::OutOfGas,
+            trap_causes: 0,
+            samples: Vec::new(),
+            pc_pairs: PC_PAIRS_SEED,
+            op_classes: fold_op_classes(&[0; OP_CLASS_BUCKETS]),
+        }
+    }
+}
+
+/// Opcode-class histogram buckets: one per RISC-V major-opcode value
+/// (instruction bits `[6:2]`), which cleanly separates loads, stores,
+/// branches, jumps, ALU, AMO, FP and system classes without a
+/// per-mnemonic table.
+pub const OP_CLASS_BUCKETS: usize = 32;
+
+/// Seed for the running [`fold_pc_pair`] accumulator (the FNV-1a offset
+/// basis, shared with the other stable folds).
+pub const PC_PAIRS_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Fold one control-flow transition into a running pc-pair accumulator.
+///
+/// Every step folds its fetch pc and its post-step pc (the trap vector
+/// for trapped steps), so the accumulator fingerprints the executed
+/// path, branches and traps included. Batched backends must use this
+/// exact fold or their [`BatchOutcome::pc_pairs`] will spuriously
+/// mismatch the reference's.
+#[inline]
+#[must_use]
+pub fn fold_pc_pair(acc: u64, from: u64, to: u64) -> u64 {
+    (acc ^ from.rotate_left(32) ^ to).wrapping_mul(FNV_PRIME)
+}
+
+/// Fold a retired-instruction opcode-class histogram into the stable
+/// digest scheme (see [`op_class`] for the bucketing).
+#[must_use]
+pub fn fold_op_classes(counts: &[u32; OP_CLASS_BUCKETS]) -> u64 {
+    let mut fnv = Fnv::new();
+    for &count in counts {
+        fnv.write_u64(u64::from(count));
+    }
+    fnv.finish()
+}
+
+/// The opcode-class bucket of a retired instruction: its major-opcode
+/// field (encoded-word bits `[6:2]`). Encoding is exact for every
+/// decodable instruction, so this matches the fetched word's major
+/// opcode bit for bit.
+#[must_use]
+pub fn op_class(insn: &Instruction) -> usize {
+    insn.encode()
+        .map_or(0, |word| ((word >> 2) & 0x1F) as usize)
 }
 
 /// One digest sample of a batched run: the stable [`Fnv`] fold of the
@@ -126,6 +198,16 @@ pub trait Dut {
     /// Stop tracing and take the recorded trace.
     fn take_trace(&mut self) -> Option<ExecutionTrace>;
 
+    /// The pc the next fetch will use. Feeds the [`fold_pc_pair`]
+    /// path-coverage fold of batched runs. The default returns a
+    /// constant: correct for any backend, but its `pc_pairs` fold then
+    /// degenerates and every window diffed against a pc-bearing
+    /// reference is replayed step by step — the same graceful
+    /// degradation as the [`Dut::write_history`] default.
+    fn pc(&self) -> u64 {
+        0
+    }
+
     /// Execute a batch of up to `max_steps` steps, stopping early at an
     /// `ebreak`/`ecall` trap, and sample the state digest every
     /// `digest_every` steps (`0` disables interior samples; a final
@@ -134,51 +216,70 @@ pub trait Dut {
     /// This is the contract windowed differential comparison drives: the
     /// engine runs reference and DUT each as one batch and compares the
     /// returned [`BatchOutcome`]s instead of digesting after every step.
+    /// Convenience wrapper over [`Dut::run_into`], which is the method
+    /// backends override.
+    fn run(&mut self, max_steps: u64, digest_every: u64) -> BatchOutcome {
+        let mut out = BatchOutcome::default();
+        self.run_into(max_steps, digest_every, &mut out);
+        out
+    }
+
+    /// [`Dut::run`] into a caller-owned [`BatchOutcome`], so hot loops
+    /// (one batch per generated program) reuse the sample buffer instead
+    /// of reallocating it. Every field of `out` is overwritten; the
+    /// previous `samples` allocation is kept and cleared.
+    ///
     /// The default implementation is in terms of [`Dut::step`] and
     /// [`Dut::digest`], so any single-stepping backend gets batching for
     /// free; backends that override it (subprocess DUTs batching their
     /// IPC, for instance) must reproduce the exact sampling schedule —
     /// interior samples at step numbers divisible by `digest_every`
     /// (skipping a sample that would coincide with the final one), each
-    /// computed with [`fold_sample`] — or their outcomes will spuriously
-    /// mismatch the reference's.
-    fn run(&mut self, max_steps: u64, digest_every: u64) -> BatchOutcome {
-        let mut steps = 0;
+    /// computed with [`fold_sample`] — and the exact [`fold_pc_pair`] /
+    /// [`fold_op_classes`] coverage folds, or their outcomes will
+    /// spuriously mismatch the reference's.
+    fn run_into(&mut self, max_steps: u64, digest_every: u64, out: &mut BatchOutcome) {
+        out.steps = 0;
+        out.exit = RunExit::OutOfGas;
+        out.trap_causes = 0;
+        out.samples.clear();
         let mut retired = 0;
-        let mut trap_causes = 0u64;
-        let mut exit = RunExit::OutOfGas;
-        let mut samples = Vec::new();
-        while steps < max_steps {
+        let mut pc_pairs = PC_PAIRS_SEED;
+        let mut classes = [0u32; OP_CLASS_BUCKETS];
+        while out.steps < max_steps {
+            let from = self.pc();
             let outcome = self.step();
-            steps += 1;
+            out.steps += 1;
+            pc_pairs = fold_pc_pair(pc_pairs, from, self.pc());
             match outcome {
-                StepOutcome::Retired(_) => retired += 1,
+                StepOutcome::Retired(insn) => {
+                    retired += 1;
+                    classes[op_class(&insn)] += 1;
+                }
                 StepOutcome::Trapped(trap) => {
-                    trap_causes |= 1 << (trap.cause().code() & 63);
+                    out.trap_causes |= 1 << (trap.cause().code() & 63);
                     match trap {
                         Trap::Breakpoint { .. } => {
-                            exit = RunExit::Breakpoint { steps };
+                            out.exit = RunExit::Breakpoint { steps: out.steps };
                             break;
                         }
                         Trap::EnvironmentCall => {
-                            exit = RunExit::EnvironmentCall { steps };
+                            out.exit = RunExit::EnvironmentCall { steps: out.steps };
                             break;
                         }
                         _ => {}
                     }
                 }
             }
-            if digest_every != 0 && steps % digest_every == 0 && steps < max_steps {
-                samples.push(fold_sample(self.digest(), self.write_history(), retired));
+            if digest_every != 0 && out.steps % digest_every == 0 && out.steps < max_steps {
+                out.samples
+                    .push(fold_sample(self.digest(), self.write_history(), retired));
             }
         }
-        samples.push(fold_sample(self.digest(), self.write_history(), retired));
-        BatchOutcome {
-            steps,
-            exit,
-            trap_causes,
-            samples,
-        }
+        out.samples
+            .push(fold_sample(self.digest(), self.write_history(), retired));
+        out.pc_pairs = pc_pairs;
+        out.op_classes = fold_op_classes(&classes);
     }
 }
 
@@ -215,12 +316,16 @@ impl Dut for Hart {
         Hart::take_trace(self)
     }
 
+    fn pc(&self) -> u64 {
+        self.state().pc()
+    }
+
     /// Native batched run over predecoded basic blocks — bit-identical
     /// to the default trait implementation (the property test
     /// `tests/run_native.rs` proves it), but without the per-step trait
     /// dispatch, outcome construction and bookkeeping in the inner loop.
-    fn run(&mut self, max_steps: u64, digest_every: u64) -> BatchOutcome {
-        self.run_batch(max_steps, digest_every)
+    fn run_into(&mut self, max_steps: u64, digest_every: u64, out: &mut BatchOutcome) {
+        self.run_batch_into(max_steps, digest_every, out);
     }
 }
 

@@ -1,6 +1,6 @@
 //! The hart: fetch, decode, execute — one instruction per [`Hart::step`],
 //! or one predecoded basic block per inner iteration of the native
-//! batched [`Hart::run_batch`].
+//! batched [`Hart::run_batch_into`].
 
 use std::sync::Arc;
 
@@ -8,7 +8,10 @@ use tf_riscv::csr::{self, CsrAddr};
 use tf_riscv::{Format, Fpr, Gpr, Instruction, Opcode, RoundingMode};
 
 use crate::digest::WideFnv;
-use crate::dut::{fold_sample, BatchOutcome, Dut};
+use crate::dut::{
+    fold_op_classes, fold_pc_pair, fold_sample, op_class, BatchOutcome, Dut, OP_CLASS_BUCKETS,
+    PC_PAIRS_SEED,
+};
 use crate::fpu::{self, dp, sp};
 use crate::mem::Memory;
 use crate::state::ArchState;
@@ -333,7 +336,7 @@ impl Hart {
     // ---- predecoded-block engine ---------------------------------------
 
     /// The cached basic block starting at `pc`, validated or (re)built.
-    /// `blocks` is the hart's own block table, lent out by [`run_batch`]
+    /// `blocks` is the hart's own block table, lent out by [`run_batch_into`]
     /// (see there) so the returned ops slice can be walked while the
     /// handlers borrow the hart — no per-op indexing, no `Arc` refcount
     /// traffic in the hot loop. `None` when no block applies — pc
@@ -459,19 +462,27 @@ impl Hart {
     /// per-step trait dispatch, [`StepOutcome`] construction and
     /// bookkeeping hoisted out of the inner loop. Observable behaviour —
     /// step/retire counts, exits, trap causes, trace entries and every
-    /// digest sample — is bit-identical to the default trait
-    /// implementation's documented schedule (interior samples at step
-    /// numbers divisible by `digest_every`, skipping one that would
-    /// coincide with the final sample; a final sample always). Pcs
-    /// without a valid block — outside the program image, misaligned, or
-    /// holding an undecodable word — fall back to the exact per-step
-    /// path for that step.
-    pub(crate) fn run_batch(&mut self, max_steps: u64, digest_every: u64) -> BatchOutcome {
+    /// digest sample, and the pc-pair / opcode-class coverage folds — is
+    /// bit-identical to the default trait implementation's documented
+    /// schedule (interior samples at step numbers divisible by
+    /// `digest_every`, skipping one that would coincide with the final
+    /// sample; a final sample always). Pcs without a valid block —
+    /// outside the program image, misaligned, or holding an undecodable
+    /// word — fall back to the exact per-step path for that step.
+    pub(crate) fn run_batch_into(
+        &mut self,
+        max_steps: u64,
+        digest_every: u64,
+        out: &mut BatchOutcome,
+    ) {
         let mut steps = 0;
         let mut retired = 0;
         let mut trap_causes = 0u64;
         let mut exit = RunExit::OutOfGas;
-        let mut samples = Vec::new();
+        let mut pc_pairs = PC_PAIRS_SEED;
+        let mut classes = [0u32; OP_CLASS_BUCKETS];
+        out.samples.clear();
+        let samples = &mut out.samples;
         // Countdown to the next interior sample — equivalent to the
         // default impl's `steps % digest_every == 0` because `steps`
         // only ever grows by one, but without a hardware division on
@@ -505,8 +516,12 @@ impl Hart {
                 // `step` itself, identically to the default impl.
                 let outcome = self.step();
                 steps += 1;
+                pc_pairs = fold_pc_pair(pc_pairs, pc, self.state.pc());
                 match outcome {
-                    StepOutcome::Retired(_) => retired += 1,
+                    StepOutcome::Retired(insn) => {
+                        retired += 1;
+                        classes[op_class(&insn)] += 1;
+                    }
                     StepOutcome::Trapped(trap) => {
                         trap_causes |= 1 << (trap.cause().code() & 63);
                         match trap {
@@ -533,6 +548,10 @@ impl Hart {
                         self.state.bump_instret();
                         retired += 1;
                         steps += 1;
+                        pc_pairs = fold_pc_pair(pc_pairs, op.pc, self.state.pc());
+                        // The major-opcode field of the fetched word is
+                        // what `op_class` computes by re-encoding.
+                        classes[((op.word >> 2) & 0x1F) as usize] += 1;
                         if self.trace.is_some() {
                             self.trace_retired(op);
                         }
@@ -545,6 +564,7 @@ impl Hart {
                         );
                         self.state.set_pc(handler);
                         steps += 1;
+                        pc_pairs = fold_pc_pair(pc_pairs, op.pc, handler);
                         trap_causes |= 1 << (trap.cause().code() & 63);
                         if self.trace.is_some() {
                             self.trace_trapped(op, trap);
@@ -582,13 +602,13 @@ impl Hart {
             }
         }
         self.blocks = blocks;
-        samples.push(fold_sample(self.digest(), self.write_history(), retired));
-        BatchOutcome {
-            steps,
-            exit,
-            trap_causes,
-            samples,
-        }
+        out.samples
+            .push(fold_sample(self.digest(), self.write_history(), retired));
+        out.steps = steps;
+        out.exit = exit;
+        out.trap_causes = trap_causes;
+        out.pc_pairs = pc_pairs;
+        out.op_classes = fold_op_classes(&classes);
     }
 
     // ---- register helpers ----------------------------------------------

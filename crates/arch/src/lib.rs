@@ -65,7 +65,10 @@ mod state;
 mod trace;
 mod trap;
 
-pub use dut::{fold_sample, BatchOutcome, Dut};
+pub use dut::{
+    fold_op_classes, fold_pc_pair, fold_sample, op_class, BatchOutcome, Dut, OP_CLASS_BUCKETS,
+    PC_PAIRS_SEED,
+};
 pub use hart::{Hart, RunExit};
 pub use mem::{Memory, PAGE_SIZE};
 pub use mutant::{BugScenario, MutantHart};

@@ -17,7 +17,7 @@
 //! cannot be batch-run changes nothing, bit for bit.
 
 use tf_riscv::csr;
-use tf_riscv::{Extension, Gpr, Instruction, Opcode, RoundingMode};
+use tf_riscv::{Extension, Format, Gpr, Instruction, Opcode, RoundingMode};
 
 use crate::dut::Dut;
 use crate::hart::Hart;
@@ -53,15 +53,33 @@ pub enum BugScenario {
     /// write-mask width of the CSR port, the ROADMAP's CSR write-mask
     /// scenario class.
     CsrWriteMask,
+    /// The branch-target adder drops bit 3 of the B-format offset: a
+    /// *taken* conditional branch whose encoded offset has bit 3 set
+    /// lands 8 bytes short of the architectural target. Not-taken
+    /// branches and offsets without bit 3 are exact, so straight-line
+    /// code never trips it — the fuzzer has to generate a taken branch
+    /// with the right offset shape.
+    BranchOffsetTruncation,
+    /// The sign-extension mux on the load write-back path is stuck on
+    /// zero-extend: everything that architecturally writes a
+    /// sign-extended narrow memory value to `rd` — `lb`/`lh`/`lw`, and
+    /// the W-form AMO/`lr.w` read-backs that share the same write-back
+    /// datapath — delivers it zero-extended instead. Loads of
+    /// non-negative values are bit-identical to the reference, so the
+    /// bug only fires when a negative value flows through the narrow
+    /// load path.
+    SignExtensionDroppedLoad,
 }
 
 impl BugScenario {
     /// Every scenario, in catalogue order.
-    pub const ALL: [BugScenario; 4] = [
+    pub const ALL: [BugScenario; 6] = [
         BugScenario::B2ReservedRounding,
         BugScenario::OffByOneImmediate,
         BugScenario::DroppedFflags,
         BugScenario::CsrWriteMask,
+        BugScenario::BranchOffsetTruncation,
+        BugScenario::SignExtensionDroppedLoad,
     ];
 
     /// Short stable identifier, used by `tf-cli fuzz --mutant <id>`.
@@ -72,6 +90,8 @@ impl BugScenario {
             BugScenario::OffByOneImmediate => "imm",
             BugScenario::DroppedFflags => "fflags",
             BugScenario::CsrWriteMask => "csrmask",
+            BugScenario::BranchOffsetTruncation => "btrunc",
+            BugScenario::SignExtensionDroppedLoad => "ldsext",
         }
     }
 
@@ -86,6 +106,13 @@ impl BugScenario {
             BugScenario::DroppedFflags => "FP instructions never update fflags",
             BugScenario::CsrWriteMask => {
                 "CSR writes to fflags/fcsr cannot change the NV bit (write port one bit too narrow)"
+            }
+            BugScenario::BranchOffsetTruncation => {
+                "taken conditional branches drop bit 3 of the target offset"
+            }
+            BugScenario::SignExtensionDroppedLoad => {
+                "lb/lh/lw and w-form AMO read-backs zero-extend the loaded value \
+                 (sign-extension mux stuck)"
             }
         }
     }
@@ -260,6 +287,79 @@ impl MutantHart {
         }
         outcome
     }
+
+    /// Branch-offset truncation: when a conditional branch is *taken*
+    /// and its B-format offset has bit 3 set, re-land the pc 8 bytes
+    /// short, as a target adder missing that offset wire would. The
+    /// taken/not-taken decision itself is the reference's; only the
+    /// landing address is corrupted, and only when the dropped bit
+    /// actually participates in the target.
+    fn step_btrunc(&mut self) -> StepOutcome {
+        let branch = self
+            .peek()
+            .filter(|insn| insn.opcode().format() == Format::B);
+        let pc_before = self.hart.state().pc();
+        let outcome = self.hart.step();
+        if let (Some(insn), StepOutcome::Retired(_)) = (branch, outcome) {
+            let offset = insn.imm();
+            let taken = self.hart.state().pc() == pc_before.wrapping_add(offset as u64);
+            // offset == 4 (the only shape where taken and not-taken
+            // targets coincide) has bit 3 clear, so `taken` is unambiguous
+            // whenever the bug fires.
+            if taken && offset & 8 != 0 {
+                let truncated = pc_before.wrapping_add((offset & !8) as u64);
+                self.hart.state_mut().set_pc(truncated);
+            }
+        }
+        outcome
+    }
+
+    /// Dropped load sign extension: after a retired instruction whose
+    /// destination received a sign-extended (negative) narrow memory
+    /// value — `lb`/`lh`/`lw`, or the old-value read-back of a W-form
+    /// AMO/`lr.w` — overwrite it with the zero-extended value the stuck
+    /// mux would have produced (and keep the recorded trace consistent
+    /// with the buggy device). Non-negative loads are bit-identical
+    /// either way, so the bug fires only when the loaded value's sign
+    /// bit is set. `sc.w` writes a success code, not a loaded value, so
+    /// it is outside the datapath.
+    fn step_ldsext(&mut self) -> StepOutcome {
+        let outcome = self.hart.step();
+        if let StepOutcome::Retired(insn) = outcome {
+            let mask: u64 = match insn.opcode() {
+                Opcode::Lb => 0xFF,
+                Opcode::Lh => 0xFFFF,
+                Opcode::Lw
+                | Opcode::LrW
+                | Opcode::AmoswapW
+                | Opcode::AmoaddW
+                | Opcode::AmoxorW
+                | Opcode::AmoandW
+                | Opcode::AmoorW
+                | Opcode::AmominW
+                | Opcode::AmomaxW
+                | Opcode::AmominuW
+                | Opcode::AmomaxuW => 0xFFFF_FFFF,
+                _ => return outcome,
+            };
+            let rd = Gpr::wrapping(insn.rd());
+            if rd.is_zero() {
+                return outcome;
+            }
+            let value = self.hart.state().x(rd);
+            let buggy = value & mask;
+            if buggy != value {
+                self.hart.state_mut().set_x(rd, buggy);
+                if let Some(entry) = self.hart.trace_last_mut() {
+                    if let Some((reg, traced)) = &mut entry.def {
+                        debug_assert_eq!(*reg, tf_riscv::Reg::X(rd));
+                        *traced = buggy;
+                    }
+                }
+            }
+        }
+        outcome
+    }
 }
 
 impl Dut for MutantHart {
@@ -269,6 +369,8 @@ impl Dut for MutantHart {
             BugScenario::OffByOneImmediate => "mutant-imm",
             BugScenario::DroppedFflags => "mutant-fflags",
             BugScenario::CsrWriteMask => "mutant-csrmask",
+            BugScenario::BranchOffsetTruncation => "mutant-btrunc",
+            BugScenario::SignExtensionDroppedLoad => "mutant-ldsext",
         }
     }
 
@@ -286,7 +388,13 @@ impl Dut for MutantHart {
             BugScenario::OffByOneImmediate => self.step_off_by_one(),
             BugScenario::DroppedFflags => self.step_dropped_fflags(),
             BugScenario::CsrWriteMask => self.step_csr_mask(),
+            BugScenario::BranchOffsetTruncation => self.step_btrunc(),
+            BugScenario::SignExtensionDroppedLoad => self.step_ldsext(),
         }
+    }
+
+    fn pc(&self) -> u64 {
+        self.hart.state().pc()
     }
 
     fn digest(&self) -> u64 {
@@ -524,6 +632,146 @@ mod tests {
             reference.digest(),
             "accrual and read-only CSR ops are outside the trigger"
         );
+    }
+
+    #[test]
+    fn btrunc_mutant_lands_taken_branches_short_when_bit_3_is_set() {
+        use tf_riscv::BranchOffset;
+        // beq x0, x0, +12 is taken with bit 3 set: the reference lands at
+        // 12 (ebreak immediately), the mutant at 12 & !8 = 4 and picks up
+        // the addi on the way to its own ebreak.
+        let program = [
+            Instruction::b_type(
+                Opcode::Beq,
+                Gpr::ZERO,
+                Gpr::ZERO,
+                BranchOffset::new(12).unwrap(),
+            ),
+            Instruction::i_type(Opcode::Addi, x(1), Gpr::ZERO, 7).unwrap(),
+            Instruction::system(Opcode::Ebreak),
+            Instruction::system(Opcode::Ebreak),
+        ];
+        let mut reference = Hart::new(1 << 16);
+        reference.load_program(0, &program).unwrap();
+        let mut mutant = MutantHart::new(1 << 16, BugScenario::BranchOffsetTruncation);
+        mutant.load(0, &program).unwrap();
+
+        assert!(matches!(reference.step(), StepOutcome::Retired(_)));
+        assert!(matches!(mutant.step(), StepOutcome::Retired(_)));
+        assert_eq!(reference.state().pc(), 12);
+        assert_eq!(
+            mutant.hart().state().pc(),
+            4,
+            "bit 3 of the offset is dropped"
+        );
+        reference.run(10);
+        Dut::run(&mut mutant, 10, 0);
+        assert_eq!(reference.state().x(x(1)), 0);
+        assert_eq!(mutant.hart().state().x(x(1)), 7);
+        assert_ne!(Dut::digest(&mutant), reference.digest());
+    }
+
+    #[test]
+    fn btrunc_mutant_is_exact_outside_its_trigger() {
+        use tf_riscv::BranchOffset;
+        // Not-taken branches and taken branches whose offset has bit 3
+        // clear must stay bit-identical to the reference.
+        let program = [
+            // x1 = 1, so beq x1, x0 is NOT taken even with bit 3 set.
+            Instruction::i_type(Opcode::Addi, x(1), Gpr::ZERO, 1).unwrap(),
+            Instruction::b_type(Opcode::Beq, x(1), Gpr::ZERO, BranchOffset::new(12).unwrap()),
+            // Taken, but +16 has bit 3 clear: lands exactly.
+            Instruction::b_type(
+                Opcode::Beq,
+                Gpr::ZERO,
+                Gpr::ZERO,
+                BranchOffset::new(16).unwrap(),
+            ),
+            Instruction::system(Opcode::Ebreak),
+            Instruction::system(Opcode::Ebreak),
+            Instruction::system(Opcode::Ebreak),
+        ];
+        let mut reference = Hart::new(1 << 16);
+        reference.load_program(0, &program).unwrap();
+        let mut mutant = MutantHart::new(1 << 16, BugScenario::BranchOffsetTruncation);
+        mutant.load(0, &program).unwrap();
+        reference.run(10);
+        Dut::run(&mut mutant, 10, 0);
+        assert_eq!(Dut::digest(&mutant), reference.digest());
+        assert_eq!(Dut::write_history(&mutant), reference.write_history());
+    }
+
+    #[test]
+    fn ldsext_mutant_zero_extends_negative_narrow_loads() {
+        // Store -1, read it back with lw: the reference sign-extends to
+        // -1, the stuck mux hands back the low 32 bits zero-extended.
+        let program = [
+            Instruction::i_type(Opcode::Addi, x(1), Gpr::ZERO, -1).unwrap(),
+            Instruction::s_type(Opcode::Sw, Gpr::ZERO, x(1), 1024).unwrap(),
+            Instruction::i_type(Opcode::Lw, x(2), Gpr::ZERO, 1024).unwrap(),
+            Instruction::system(Opcode::Ebreak),
+        ];
+        let mut reference = Hart::new(1 << 16);
+        reference.load_program(0, &program).unwrap();
+        let mut mutant = MutantHart::new(1 << 16, BugScenario::SignExtensionDroppedLoad);
+        mutant.load(0, &program).unwrap();
+        mutant.enable_tracing();
+        reference.run(10);
+        Dut::run(&mut mutant, 10, 0);
+        assert_eq!(reference.state().x(x(2)), u64::MAX);
+        assert_eq!(mutant.hart().state().x(x(2)), 0xFFFF_FFFF);
+        assert_ne!(Dut::digest(&mutant), reference.digest());
+        let trace = mutant.take_trace().unwrap();
+        assert_eq!(
+            trace.entries()[2].def,
+            Some((Reg::X(x(2)), 0xFFFF_FFFF)),
+            "trace reports the zero-extended value the device actually wrote"
+        );
+    }
+
+    #[test]
+    fn ldsext_mutant_is_exact_on_non_negative_and_unsigned_loads() {
+        // A positive narrow load and an unsigned load are outside the
+        // trigger: zero- and sign-extension agree, so no history write
+        // may fire and the mutant stays bit-identical.
+        let program = [
+            Instruction::i_type(Opcode::Addi, x(1), Gpr::ZERO, 0x7F).unwrap(),
+            Instruction::s_type(Opcode::Sw, Gpr::ZERO, x(1), 1024).unwrap(),
+            Instruction::i_type(Opcode::Lb, x(2), Gpr::ZERO, 1024).unwrap(),
+            Instruction::i_type(Opcode::Lbu, x(3), Gpr::ZERO, 1024).unwrap(),
+            Instruction::system(Opcode::Ebreak),
+        ];
+        let mut reference = Hart::new(1 << 16);
+        reference.load_program(0, &program).unwrap();
+        let mut mutant = MutantHart::new(1 << 16, BugScenario::SignExtensionDroppedLoad);
+        mutant.load(0, &program).unwrap();
+        reference.run(10);
+        Dut::run(&mut mutant, 10, 0);
+        assert_eq!(Dut::digest(&mutant), reference.digest());
+        assert_eq!(Dut::write_history(&mutant), reference.write_history());
+    }
+
+    #[test]
+    fn ldsext_mutant_zero_extends_amo_read_backs() {
+        // The W-form AMO old-value read-back rides the same write-back
+        // mux: the reference sign-extends the old memory word into rd,
+        // the stuck mux hands it back zero-extended.
+        let program = [
+            Instruction::i_type(Opcode::Addi, x(1), Gpr::ZERO, 1024).unwrap(),
+            Instruction::i_type(Opcode::Addi, x(2), Gpr::ZERO, -1).unwrap(),
+            Instruction::s_type(Opcode::Sw, Gpr::ZERO, x(2), 1024).unwrap(),
+            Instruction::amo(Opcode::AmoaddW, x(3), x(1), Gpr::ZERO, false, false).unwrap(),
+            Instruction::system(Opcode::Ebreak),
+        ];
+        let mut reference = Hart::new(1 << 16);
+        reference.load_program(0, &program).unwrap();
+        let mut mutant = MutantHart::new(1 << 16, BugScenario::SignExtensionDroppedLoad);
+        mutant.load(0, &program).unwrap();
+        reference.run(10);
+        Dut::run(&mut mutant, 10, 0);
+        assert_eq!(reference.state().x(x(3)), u64::MAX);
+        assert_eq!(mutant.hart().state().x(x(3)), 0xFFFF_FFFF);
+        assert_ne!(Dut::digest(&mutant), reference.digest());
     }
 
     #[test]

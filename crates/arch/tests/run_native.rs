@@ -39,6 +39,9 @@ impl<D: Dut> Dut for PerStep<D> {
     fn step(&mut self) -> StepOutcome {
         self.0.step()
     }
+    fn pc(&self) -> u64 {
+        self.0.pc()
+    }
     fn digest(&self) -> u64 {
         self.0.digest()
     }

@@ -1,7 +1,7 @@
 //! Flag parsing for `tf-cli`, dependency-free by design.
 
 use tf_arch::BugScenario;
-use tf_fuzz::DEFAULT_WINDOW;
+use tf_fuzz::{PowerSchedule, DEFAULT_WINDOW};
 
 /// Usage text for `--help` and parse failures.
 pub const USAGE: &str = "\
@@ -25,7 +25,13 @@ FUZZ OPTIONS:
                       seed-disjoint campaigns and the reports merged
                       (default 1, which is bit-identical to the
                       single-threaded campaign)
-    --mutant <ID>     fuzz a known-buggy DUT: b2 | imm | fflags | csrmask
+    --schedule <S>    corpus power schedule: uniform | fast | explore
+                      (default uniform, which is bit-identical to
+                      pre-scheduler campaigns; fast and explore weight
+                      seed selection by calibration-derived energy and
+                      stay just as deterministic)
+    --mutant <ID>     fuzz a known-buggy DUT: b2 | imm | fflags |
+                      csrmask | btrunc | ldsext
                       (default: the golden reference hart)
     --expect <WHAT>   exit non-zero unless the campaign reported
                       `divergence` or came back `clean`
@@ -77,6 +83,8 @@ pub struct FuzzArgs {
     pub window: u64,
     /// Worker threads to shard the budget across.
     pub jobs: usize,
+    /// Corpus power schedule.
+    pub schedule: PowerSchedule,
     /// Bug scenario to inject into the DUT, if any.
     pub mutant: Option<BugScenario>,
     /// Required campaign outcome, if any.
@@ -97,6 +105,7 @@ impl Default for FuzzArgs {
             len: 32,
             window: DEFAULT_WINDOW,
             jobs: 1,
+            schedule: PowerSchedule::Uniform,
             mutant: None,
             expect: None,
             corpus: None,
@@ -146,6 +155,13 @@ impl FuzzArgs {
                     if args.jobs == 0 {
                         return Err("`--jobs` must be positive".into());
                     }
+                }
+                "--schedule" => {
+                    let id = value("--schedule")?;
+                    args.schedule = PowerSchedule::parse(&id).ok_or_else(|| {
+                        let known: Vec<&str> = PowerSchedule::ALL.iter().map(|s| s.id()).collect();
+                        format!("unknown schedule `{id}` (known: {})", known.join(", "))
+                    })?;
                 }
                 "--mutant" => {
                     let id = value("--mutant")?;
@@ -294,6 +310,8 @@ mod tests {
             "8",
             "--jobs",
             "4",
+            "--schedule",
+            "fast",
             "--mutant",
             "b2",
             "--expect",
@@ -305,6 +323,7 @@ mod tests {
         assert_eq!(args.len, 16);
         assert_eq!(args.window, 8);
         assert_eq!(args.jobs, 4);
+        assert_eq!(args.schedule, PowerSchedule::Fast);
         assert_eq!(args.mutant, Some(BugScenario::B2ReservedRounding));
         assert_eq!(args.expect, Some(Expectation::Divergence));
     }
@@ -315,6 +334,17 @@ mod tests {
             let args = parse(&["--mutant", scenario.id()]).unwrap();
             assert_eq!(args.mutant, Some(scenario));
         }
+    }
+
+    #[test]
+    fn every_schedule_id_parses_and_uniform_is_the_default() {
+        assert_eq!(parse(&[]).unwrap().schedule, PowerSchedule::Uniform);
+        for schedule in PowerSchedule::ALL {
+            let args = parse(&["--schedule", schedule.id()]).unwrap();
+            assert_eq!(args.schedule, schedule);
+        }
+        let err = parse(&["--schedule", "lightning"]).unwrap_err();
+        assert!(err.contains("uniform") && err.contains("fast") && err.contains("explore"));
     }
 
     #[test]

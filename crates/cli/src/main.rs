@@ -96,7 +96,8 @@ fn run_fuzz(args: &FuzzArgs) -> ExitCode {
         .with_seed(args.seed)
         .with_instruction_budget(args.steps)
         .with_program_len(args.len)
-        .with_window(args.window);
+        .with_window(args.window)
+        .with_schedule(args.schedule);
     if let Some(scenario) = args.mutant {
         println!("injected bug scenario — {scenario}");
     }
@@ -330,6 +331,32 @@ fn corpus_info(path: &Path) -> ExitCode {
         ),
         None => println!("  checkpoint: none"),
     }
+    if !loaded.entries.is_empty() {
+        println!("  calibration (energy under fast/explore):");
+        let (mut cost, mut cov_yield, mut spent, mut children) = (0u64, 0u64, 0u64, 0u64);
+        for (index, entry) in loaded.entries.iter().enumerate() {
+            let c = &entry.calibration;
+            println!(
+                "    [{index:4}] {:3} insns  cost {:6}  yield {}  spent {:5}  \
+                 children {:4}  energy {}/{}",
+                entry.program.len(),
+                c.cost,
+                c.cov_yield,
+                c.spent,
+                c.children,
+                PowerSchedule::Fast.energy(c),
+                PowerSchedule::Explore.energy(c),
+            );
+            cost += c.cost;
+            cov_yield += u64::from(c.cov_yield);
+            spent += c.spent;
+            children += c.children;
+        }
+        println!(
+            "  calibration totals: cost {cost}, yield {cov_yield}, spent {spent}, \
+             children {children}"
+        );
+    }
     ExitCode::SUCCESS
 }
 
@@ -466,6 +493,41 @@ mod tests {
         let loaded = persist::load_file(&corpus).unwrap();
         assert!(loaded.checkpoint.is_none(), "sharded runs save seeds only");
         assert!(!loaded.entries.is_empty());
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn feedback_schedule_campaigns_persist_and_resume() {
+        let dir = std::env::temp_dir().join(format!("tf-cli-test-sched-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let corpus = dir.join("seeds.tfc");
+
+        let half = FuzzArgs {
+            seed: 11,
+            steps: 1_000,
+            schedule: PowerSchedule::Fast,
+            corpus: Some(corpus.to_str().unwrap().to_string()),
+            expect: Some(Expectation::Clean),
+            ..FuzzArgs::default()
+        };
+        assert_eq!(run_fuzz(&half), ExitCode::SUCCESS);
+        let resumed = FuzzArgs {
+            steps: 2_000,
+            resume: true,
+            ..half.clone()
+        };
+        assert_eq!(run_fuzz(&resumed), ExitCode::SUCCESS);
+
+        // The same checkpoint refuses to resume under another schedule:
+        // the schedule is part of the config fingerprint.
+        let wrong_schedule = FuzzArgs {
+            steps: 3_000,
+            schedule: PowerSchedule::Explore,
+            resume: true,
+            ..half
+        };
+        assert_eq!(run_fuzz(&wrong_schedule), ExitCode::from(1));
 
         std::fs::remove_dir_all(&dir).unwrap();
     }

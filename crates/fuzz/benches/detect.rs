@@ -1,0 +1,120 @@
+//! Detection-latency benchmark: how many generated instructions each
+//! power schedule needs before a planted bug first diverges.
+//!
+//! Every [`BugScenario`] is fuzzed under every [`PowerSchedule`] across
+//! a fixed set of campaign seeds; the metric per cell is the *median*
+//! [`CampaignReport::first_divergence_at`] — the instructions-generated
+//! counter at the first divergence, or the budget cap when the campaign
+//! never caught the bug. Unlike the wall-clock benches in `tf_arch`,
+//! this is a **counted, bit-deterministic** metric: the same build
+//! produces the same numbers on any host, so `TF_BENCH_SMOKE=1` runs
+//! the identical workload and CI can compare the emitted JSON against
+//! the checked-in `BENCH_detect.json` as an exact regression gate (a
+//! scheduler change that slows detection by >30% on any cell fails the
+//! build).
+//!
+//! * Output path: `BENCH_detect.json` at the workspace root,
+//!   overridable with `TF_BENCH_JSON`.
+//! * Keys: `<scenario>_<schedule>` medians plus `budget_cap`.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use tf_arch::{BugScenario, MutantHart};
+use tf_fuzz::{Campaign, CampaignConfig, PowerSchedule};
+
+const MEM: u64 = 1 << 16;
+
+/// Instructions-generated ceiling per campaign; also the reported
+/// latency when a campaign exhausts the budget without a divergence.
+const BUDGET_CAP: u64 = 20_000;
+
+/// Campaign seeds each (scenario, schedule) cell is measured over. Odd
+/// count so the median is a real cell, not an average.
+const SEEDS: [u64; 5] = [1, 2, 3, 5, 8];
+
+fn detection_latency(scenario: BugScenario, schedule: PowerSchedule, seed: u64) -> u64 {
+    let config = CampaignConfig::default()
+        .with_seed(seed)
+        .with_instruction_budget(BUDGET_CAP)
+        .with_mem_size(MEM)
+        .with_schedule(schedule);
+    let mut dut = MutantHart::new(MEM, scenario);
+    let report = Campaign::new(config).run(&mut dut);
+    report.first_divergence_at.unwrap_or(BUDGET_CAP)
+}
+
+fn median(latencies: &mut [u64]) -> u64 {
+    latencies.sort_unstable();
+    latencies[latencies.len() / 2]
+}
+
+fn json_path() -> PathBuf {
+    match std::env::var("TF_BENCH_JSON") {
+        Ok(custom) if !custom.is_empty() => PathBuf::from(custom),
+        _ => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_detect.json"),
+    }
+}
+
+fn main() {
+    // `TF_BENCH_SMOKE` is accepted for CI symmetry with the tf_arch
+    // benches but changes nothing: the workload is already deterministic
+    // and cheap, and shrinking it would make the emitted numbers
+    // incomparable with the checked-in medians.
+    println!(
+        "tf_fuzz detection latency (median instructions to first divergence, \
+         cap {BUDGET_CAP}, {} seeds per cell)",
+        SEEDS.len()
+    );
+    let mut results: BTreeMap<String, f64> = BTreeMap::new();
+    results.insert("budget_cap".into(), BUDGET_CAP as f64);
+    for scenario in BugScenario::ALL {
+        print!("{:8}", scenario.id());
+        for schedule in PowerSchedule::ALL {
+            let mut latencies: Vec<u64> = SEEDS
+                .iter()
+                .map(|&seed| detection_latency(scenario, schedule, seed))
+                .collect();
+            let median = median(&mut latencies);
+            print!("  {}={median:<6}", schedule.id());
+            results.insert(
+                format!("{}_{}", scenario.id(), schedule.id()),
+                median as f64,
+            );
+        }
+        println!();
+    }
+
+    // How often each feedback schedule beats (or ties) uniform, the
+    // headline the scheduler work is judged on.
+    for schedule in [PowerSchedule::Fast, PowerSchedule::Explore] {
+        let better = BugScenario::ALL
+            .iter()
+            .filter(|scenario| {
+                results[&format!("{}_{}", scenario.id(), schedule.id())]
+                    <= results[&format!("{}_uniform", scenario.id())]
+            })
+            .count();
+        println!(
+            "{} beats-or-ties uniform on {better}/{} scenarios",
+            schedule.id(),
+            BugScenario::ALL.len()
+        );
+    }
+
+    let mut out = String::from("{\n");
+    let mut first = true;
+    for (key, value) in &results {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!("  \"{key}\": {value:.0}"));
+    }
+    out.push_str("\n}\n");
+    let path = json_path();
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("bench json updated: {}", path.display()),
+        Err(error) => eprintln!("warning: could not write {}: {error}", path.display()),
+    }
+}

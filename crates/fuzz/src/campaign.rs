@@ -15,12 +15,15 @@ use tf_arch::digest::Fnv;
 use tf_arch::{Dut, Hart, RunExit};
 use tf_riscv::{Extension, Format, InstructionLibrary, LibraryConfig};
 
-use crate::corpus::{minimize, Corpus, SeedEntry};
+use crate::corpus::{minimize, Corpus, SeedCalibration, SeedEntry};
 use crate::coverage::CoverageMap;
-use crate::diff::{ConfigError, DiffConfig, DiffEngine, DiffVerdict, Divergence, DEFAULT_WINDOW};
+use crate::diff::{
+    ConfigError, DiffConfig, DiffEngine, DiffScratch, DiffVerdict, Divergence, DEFAULT_WINDOW,
+};
 use crate::generator::{GeneratorConfig, ProgramGenerator};
 use crate::persist::CampaignCheckpoint;
 use crate::rng::SplitMix64;
+use crate::schedule::PowerSchedule;
 
 /// Divergence reports kept in full; beyond this only the count grows.
 const MAX_REPORTS: usize = 16;
@@ -49,6 +52,10 @@ pub struct CampaignConfig {
     pub library: LibraryConfig,
     /// Generator tuning.
     pub generator: GeneratorConfig,
+    /// Power schedule assigning corpus seeds their mutation energy.
+    /// [`PowerSchedule::Uniform`] (the default) reproduces pre-scheduler
+    /// campaigns bit for bit.
+    pub schedule: PowerSchedule,
 }
 
 impl Default for CampaignConfig {
@@ -63,6 +70,7 @@ impl Default for CampaignConfig {
             window: DEFAULT_WINDOW,
             library: LibraryConfig::all(),
             generator: GeneratorConfig::default(),
+            schedule: PowerSchedule::default(),
         }
     }
 }
@@ -107,6 +115,13 @@ impl CampaignConfig {
     #[must_use]
     pub fn with_window(mut self, window: u64) -> Self {
         self.window = window;
+        self
+    }
+
+    /// This config with `schedule` replaced.
+    #[must_use]
+    pub fn with_schedule(mut self, schedule: PowerSchedule) -> Self {
+        self.schedule = schedule;
         self
     }
 
@@ -160,6 +175,10 @@ impl CampaignConfig {
         fnv.write_u64(self.base);
         fnv.write_u64(self.generator.tournament as u64);
         fnv.write_u64(u64::from(self.generator.rm_stress));
+        // The schedule shapes which seeds get mutated, so two campaigns
+        // differing only in schedule have diverging corpus-RNG streams —
+        // unlike the window, it must be part of the fingerprint.
+        fnv.write_bytes(self.schedule.id().as_bytes());
         for ext in Extension::ALL {
             fnv.write_u64(u64::from(self.library.extension_active(ext)));
         }
@@ -239,6 +258,11 @@ pub struct CampaignReport {
     pub corpus_size: usize,
     /// Total divergent runs observed.
     pub divergent_runs: u64,
+    /// Instructions generated when the first divergent run was observed
+    /// (`None` for a clean campaign) — the detection-latency metric the
+    /// detect benchmark gates on. Deliberately not rendered by
+    /// `Display`, so clean-report text stays byte-stable.
+    pub first_divergence_at: Option<u64>,
     /// Minimized divergence reports (the first 16; beyond that only
     /// [`CampaignReport::divergent_runs`] grows).
     pub divergences: Vec<Divergence>,
@@ -286,6 +310,12 @@ impl CampaignReport {
         self.unique_trap_sets += other.unique_trap_sets;
         self.corpus_size += other.corpus_size;
         self.divergent_runs += other.divergent_runs;
+        // Earliest detection wins; `None` is the identity, keeping the
+        // merge associative.
+        self.first_divergence_at = match (self.first_divergence_at, other.first_divergence_at) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
         let mut known: HashSet<u64> = self
             .divergences
             .iter()
@@ -341,6 +371,11 @@ pub struct Campaign {
     coverage: CoverageMap,
     engine: DiffEngine,
     rng: SplitMix64,
+    // Hot-loop buffers, reused across every run of the campaign: the
+    // current program and the two windowed batch outcomes. Cleared, not
+    // reallocated, once the high-water capacity is reached.
+    program_buf: Vec<tf_riscv::Instruction>,
+    scratch: DiffScratch,
 }
 
 impl Campaign {
@@ -363,6 +398,8 @@ impl Campaign {
             coverage: CoverageMap::new(),
             engine,
             rng: SplitMix64::new(config.seed ^ 3),
+            program_buf: Vec::with_capacity(config.program_len),
+            scratch: DiffScratch::default(),
             config,
         }
     }
@@ -509,20 +546,33 @@ impl Campaign {
             dut: dut.name().to_string(),
             ..prior
         };
+        let engine = self.engine;
         while report.instructions_generated < self.config.instruction_budget {
             // Half the schedule explores fresh programs, half exploits
-            // the corpus — once there is a corpus to exploit.
+            // the corpus — once there is a corpus to exploit. Which seed
+            // gets exploited is the power schedule's energy-weighted
+            // draw; its index is kept so an admitted mutant can credit
+            // its parent's fecundity.
             let mutated = !self.corpus.is_empty() && self.rng.chance(128);
-            let program = if mutated {
-                self.corpus
-                    .mutate(&mut self.generator)
-                    .unwrap_or_else(|| self.generator.generate(self.config.program_len))
+            let parent = if mutated {
+                let parent = self.corpus.mutate_into(
+                    &mut self.generator,
+                    self.config.schedule,
+                    &mut self.program_buf,
+                );
+                if parent.is_none() {
+                    self.generator
+                        .generate_into(self.config.program_len, &mut self.program_buf);
+                }
+                parent
             } else {
-                self.generator.generate(self.config.program_len)
+                self.generator
+                    .generate_into(self.config.program_len, &mut self.program_buf);
+                None
             };
             report.programs += 1;
-            report.instructions_generated += program.len() as u64;
-            match self.engine.diff(&mut reference, dut, &program) {
+            report.instructions_generated += self.program_buf.len() as u64;
+            match engine.diff_with(&mut reference, dut, &self.program_buf, &mut self.scratch) {
                 Err(_) => {
                     // Unloadable program (cannot happen with in-range
                     // generator output, but mutation keeps the door open).
@@ -532,6 +582,8 @@ impl Campaign {
                     exit,
                     trace_digest,
                     trap_causes,
+                    pc_pairs,
+                    op_classes,
                 }) => {
                     report.steps_executed += steps;
                     match exit {
@@ -539,19 +591,41 @@ impl Campaign {
                         RunExit::EnvironmentCall { .. } => report.ecall_exits += 1,
                         RunExit::OutOfGas => report.out_of_gas_exits += 1,
                     }
-                    // Either key earns a corpus slot: exact-trace novelty
-                    // or a never-seen combination of trap causes.
+                    // Either primary key earns a corpus slot: exact-trace
+                    // novelty or a never-seen combination of trap causes.
                     let new_trace = self.coverage.observe(trace_digest);
                     let new_traps = self.coverage.observe_trap_set(trap_causes);
                     if new_trace || new_traps {
-                        self.corpus.add(program, trace_digest, trap_causes);
+                        // The two cheap folds are recorded only for
+                        // admitted seeds; together with the primary keys
+                        // they make up the seed's coverage yield.
+                        let new_pairs = self.coverage.observe_pc_pairs(pc_pairs);
+                        let new_classes = self.coverage.observe_op_classes(op_classes);
+                        let cov_yield = u8::from(new_trace)
+                            + u8::from(new_traps)
+                            + u8::from(new_pairs)
+                            + u8::from(new_classes);
+                        let calibration = SeedCalibration {
+                            cost: steps,
+                            cov_yield,
+                            spent: 0,
+                            children: 0,
+                        };
+                        self.corpus
+                            .add(&self.program_buf, trace_digest, trap_causes, calibration);
+                        if let Some(parent) = parent {
+                            self.corpus.record_child(parent);
+                        }
                     }
                 }
                 Ok(DiffVerdict::Diverged(divergence)) => {
                     report.steps_executed += divergence.step;
                     report.divergent_runs += 1;
+                    if report.first_divergence_at.is_none() {
+                        report.first_divergence_at = Some(report.instructions_generated);
+                    }
                     if report.divergences.len() < MAX_REPORTS {
-                        let minimized = self.reproduce(&mut reference, dut, &program);
+                        let minimized = self.reproduce(&mut reference, dut, &self.program_buf);
                         report.divergences.push(minimized.unwrap_or(divergence));
                     }
                 }
@@ -566,7 +640,7 @@ impl Campaign {
     /// Shrink a divergence-triggering program and re-run it, returning
     /// the divergence of the minimized reproducer.
     fn reproduce(
-        &mut self,
+        &self,
         reference: &mut Hart,
         dut: &mut dyn Dut,
         program: &[tf_riscv::Instruction],
@@ -672,6 +746,72 @@ mod tests {
             ..config(1_000)
         };
         assert!(Campaign::restore(bigger, &checkpoint, &[]).is_ok());
+    }
+
+    #[test]
+    fn restore_rejects_a_different_schedule() {
+        // The schedule shapes the corpus-selection stream, so it is part
+        // of the config fingerprint — unlike the window.
+        let campaign = Campaign::new(config(1_000));
+        let checkpoint = campaign.checkpoint(&CampaignReport::default());
+        let other = config(1_000).with_schedule(PowerSchedule::Fast);
+        assert!(matches!(
+            Campaign::restore(other, &checkpoint, &[]),
+            Err(RestoreError::ConfigMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn feedback_schedules_stay_deterministic_and_window_invariant() {
+        for schedule in [PowerSchedule::Fast, PowerSchedule::Explore] {
+            let run = |window: u64| {
+                let mut campaign =
+                    Campaign::new(config(2_000).with_schedule(schedule).with_window(window));
+                let mut dut = MutantHart::new(1 << 16, BugScenario::OffByOneImmediate);
+                let report = campaign.run(&mut dut);
+                (report, campaign.into_corpus().into_entries())
+            };
+            let exact = run(1);
+            assert!(!exact.0.is_clean(), "{schedule}: imm mutant undetected");
+            assert!(
+                exact.0.first_divergence_at.is_some(),
+                "detection latency must be recorded"
+            );
+            for window in [16, 64] {
+                assert_eq!(run(window), exact, "{schedule} window {window} drifted");
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_is_exact_under_a_feedback_schedule() {
+        // The calibration metadata (cost/yield/spent/children) is part
+        // of mid-campaign state: an interrupted fast-schedule campaign
+        // must resume onto the uninterrupted run's exact trajectory.
+        let full_config = config(2_000).with_schedule(PowerSchedule::Fast);
+        let mut uninterrupted = Campaign::new(full_config.clone());
+        let mut dut = Hart::new(1 << 16);
+        let full = uninterrupted.run(&mut dut);
+
+        let half_config = CampaignConfig {
+            instruction_budget: 1_000,
+            ..full_config.clone()
+        };
+        let mut first = Campaign::new(half_config);
+        let mut dut = Hart::new(1 << 16);
+        let half = first.run(&mut dut);
+        let checkpoint = first.checkpoint(&half);
+        let entries = first.corpus().entries().to_vec();
+
+        let mut second = Campaign::restore(full_config, &checkpoint, &entries).unwrap();
+        let mut dut = Hart::new(1 << 16);
+        let resumed = second.resume(&mut dut, checkpoint.report.clone());
+        assert_eq!(resumed, full, "fast-schedule resume must be bit-identical");
+        assert_eq!(
+            second.corpus().entries(),
+            uninterrupted.corpus().entries(),
+            "calibration metadata must survive the checkpoint round trip"
+        );
     }
 
     #[test]

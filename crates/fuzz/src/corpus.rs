@@ -1,13 +1,16 @@
 //! The seed corpus: interesting programs and how to evolve them.
 //!
 //! Programs that produced new coverage are saved with their coverage
-//! keys (trace digest and trap-cause set). Later campaign iterations
-//! draw on the corpus instead of always generating from scratch:
-//! [`Corpus::mutate`] applies small structural edits (replace / insert /
-//! delete) that preserve the `ebreak` terminator, and [`minimize`]
-//! shrinks a divergence-triggering program to a near-minimal reproducer
-//! before it is reported — the classic corpus/stage decomposition of
-//! coverage-guided fuzzers.
+//! keys (trace digest and trap-cause set) and a [`SeedCalibration`]
+//! record — execution cost, coverage yield and mutation fecundity —
+//! that the campaign's [`PowerSchedule`] turns into selection energy.
+//! Later campaign iterations draw on the corpus instead of always
+//! generating from scratch: [`Corpus::mutate_into`] picks a seed by
+//! energy-weighted deterministic selection and applies small structural
+//! edits (replace / insert / delete) that preserve the `ebreak`
+//! terminator, and [`minimize`] shrinks a divergence-triggering program
+//! to a near-minimal reproducer before it is reported — the classic
+//! corpus/stage decomposition of coverage-guided fuzzers.
 //!
 //! A corpus also outlives the process: [`Corpus::save`] writes the
 //! entries to the versioned on-disk format of the [`persist`] module
@@ -24,6 +27,25 @@ use tf_riscv::Instruction;
 use crate::generator::ProgramGenerator;
 use crate::persist::{self, LoadReport, PersistError};
 use crate::rng::SplitMix64;
+use crate::schedule::PowerSchedule;
+
+/// A seed's calibration record: what it cost to execute, what coverage
+/// it brought in, and how its mutants have fared — the raw material a
+/// [`PowerSchedule`] turns into selection energy. All counters are
+/// exact integers so schedules stay bit-deterministic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SeedCalibration {
+    /// Instructions the admitting run retired (execution cost).
+    pub cost: u64,
+    /// How many of the four coverage-key families (trace digest,
+    /// trap-cause set, pc-pair fold, opcode-class fold) this seed's
+    /// admitting run lit up for the first time: `0..=4`.
+    pub cov_yield: u8,
+    /// Mutations drawn from this seed so far.
+    pub spent: u64,
+    /// Mutants of this seed that themselves earned a corpus slot.
+    pub children: u64,
+}
 
 /// One saved program and the coverage keys that made it interesting.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,6 +56,8 @@ pub struct SeedEntry {
     pub trace_digest: u64,
     /// Trap-cause bitmask of the run (the coarse secondary coverage key).
     pub trap_causes: u64,
+    /// Scheduler metadata: cost, yield and fecundity.
+    pub calibration: SeedCalibration,
 }
 
 impl SeedEntry {
@@ -68,13 +92,22 @@ impl Corpus {
         }
     }
 
-    /// Record a program and the coverage keys it earned.
-    pub fn add(&mut self, program: Vec<Instruction>, trace_digest: u64, trap_causes: u64) {
+    /// Record a program, the coverage keys it earned and its calibration
+    /// record. The program is cloned here — on the rare admission path —
+    /// so the campaign hot loop can keep reusing its program buffer.
+    pub fn add(
+        &mut self,
+        program: &[Instruction],
+        trace_digest: u64,
+        trap_causes: u64,
+        calibration: SeedCalibration,
+    ) {
         self.keys.insert((trace_digest, trap_causes));
         self.entries.push(SeedEntry {
-            program,
+            program: program.to_vec(),
             trace_digest,
             trap_causes,
+            calibration,
         });
     }
 
@@ -164,39 +197,91 @@ impl Corpus {
         self.entries.is_empty()
     }
 
-    /// Pick a saved seed and derive a mutant from it: one to three edits
-    /// (replace an instruction with a fresh library sample, insert one,
-    /// or delete one), never touching the trailing `ebreak`.
+    /// Draw a seed index by energy-weighted deterministic selection:
+    /// each entry weighs [`PowerSchedule::energy`] of its calibration,
+    /// and a single RNG draw below the energy total picks the seed by
+    /// subtractive walk. Under [`PowerSchedule::Uniform`] every weight
+    /// is 1, the total is the corpus length, and the draw collapses to
+    /// exactly the historical uniform pick — same single draw from the
+    /// same stream, bit for bit.
     ///
-    /// Returns `None` when the corpus is empty or the generator's
-    /// library cannot supply replacement instructions.
-    pub fn mutate(&mut self, generator: &mut ProgramGenerator) -> Option<Vec<Instruction>> {
+    /// Returns `None` when the corpus is empty.
+    pub fn select(&mut self, schedule: PowerSchedule) -> Option<usize> {
         if self.entries.is_empty() {
             return None;
         }
-        let pick = self.rng.below(self.entries.len() as u64) as usize;
-        let mut program = self.entries[pick].program.clone();
+        let total: u64 = self
+            .entries
+            .iter()
+            .map(|entry| schedule.energy(&entry.calibration))
+            .sum();
+        let mut draw = self.rng.below(total);
+        for (index, entry) in self.entries.iter().enumerate() {
+            let energy = schedule.energy(&entry.calibration);
+            if draw < energy {
+                return Some(index);
+            }
+            draw -= energy;
+        }
+        unreachable!("draw is below the energy total");
+    }
+
+    /// Pick a saved seed under `schedule` and derive a mutant from it
+    /// into `out`: one to three edits (replace an instruction with a
+    /// fresh library sample, insert one, or delete one), never touching
+    /// the trailing `ebreak`. The picked seed's
+    /// [`SeedCalibration::spent`] counter is charged, and its index is
+    /// returned so an admitted mutant can be credited back with
+    /// [`Corpus::record_child`].
+    ///
+    /// Returns `None` when the corpus is empty or the generator's
+    /// library cannot supply replacement instructions.
+    pub fn mutate_into(
+        &mut self,
+        generator: &mut ProgramGenerator,
+        schedule: PowerSchedule,
+        out: &mut Vec<Instruction>,
+    ) -> Option<usize> {
+        let pick = self.select(schedule)?;
+        self.entries[pick].calibration.spent += 1;
+        out.clear();
+        out.extend_from_slice(&self.entries[pick].program);
         let edits = 1 + self.rng.below(3);
         for _ in 0..edits {
             // The final ebreak is immutable; body is everything before it.
-            let body = program.len() - 1;
+            let body = out.len() - 1;
             match self.rng.below(3) {
                 0 if body > 0 => {
                     let at = self.rng.below(body as u64) as usize;
-                    program[at] = generator.sample_insn()?;
+                    out[at] = generator.sample_insn()?;
                 }
                 1 => {
                     let at = self.rng.below(body as u64 + 1) as usize;
-                    program.insert(at, generator.sample_insn()?);
+                    out.insert(at, generator.sample_insn()?);
                 }
                 _ if body > 0 => {
                     let at = self.rng.below(body as u64) as usize;
-                    program.remove(at);
+                    out.remove(at);
                 }
                 _ => {}
             }
         }
-        Some(program)
+        Some(pick)
+    }
+
+    /// [`Corpus::mutate_into`] under the uniform schedule, returning the
+    /// mutant by value — the pre-scheduler convenience shape, same RNG
+    /// stream.
+    pub fn mutate(&mut self, generator: &mut ProgramGenerator) -> Option<Vec<Instruction>> {
+        let mut out = Vec::new();
+        self.mutate_into(generator, PowerSchedule::Uniform, &mut out)
+            .map(|_| out)
+    }
+
+    /// Credit the seed at `parent` with an admitted child — its mutant
+    /// earned a corpus slot, raising the seed's fecundity signal.
+    pub fn record_child(&mut self, parent: usize) {
+        self.entries[parent].calibration.children += 1;
     }
 }
 
@@ -251,19 +336,30 @@ mod tests {
     #[test]
     fn mutate_preserves_the_terminator() {
         let mut corpus = Corpus::new(1);
-        corpus.add(vec![addi(1, 1), addi(2, 2), addi(3, 3), ebreak()], 0x11, 0);
+        corpus.add(
+            &[addi(1, 1), addi(2, 2), addi(3, 3), ebreak()],
+            0x11,
+            0,
+            SeedCalibration::default(),
+        );
         let mut generator = generator();
         for _ in 0..64 {
             let mutated = corpus.mutate(&mut generator).unwrap();
             assert_eq!(mutated.last().unwrap().opcode(), Opcode::Ebreak);
             assert!(!mutated.is_empty());
         }
+        assert_eq!(
+            corpus.entries()[0].calibration.spent,
+            64,
+            "every mutation charges the picked seed"
+        );
     }
 
     #[test]
     fn mutate_on_empty_corpus_is_none() {
         let mut corpus = Corpus::new(1);
         assert!(corpus.mutate(&mut generator()).is_none());
+        assert!(corpus.select(PowerSchedule::Fast).is_none());
         assert!(corpus.is_empty());
         assert_eq!(corpus.len(), 0);
     }
@@ -272,12 +368,56 @@ mod tests {
     fn mutants_eventually_differ_from_their_seed() {
         let seed_program = vec![addi(1, 1), addi(2, 2), ebreak()];
         let mut corpus = Corpus::new(2);
-        corpus.add(seed_program.clone(), 0x22, 0);
+        corpus.add(&seed_program, 0x22, 0, SeedCalibration::default());
         let mut generator = generator();
         let changed = (0..32)
             .filter_map(|_| corpus.mutate(&mut generator))
             .any(|m| m != seed_program);
         assert!(changed, "32 mutations never changed the program");
+    }
+
+    #[test]
+    fn selection_follows_energy_and_uniform_ignores_it() {
+        // Seed 0 is stale and weak, seed 1 fresh and fecund: under the
+        // fast schedule the draw should overwhelmingly favour seed 1,
+        // while uniform keeps an even split of the same RNG stream.
+        let weak = SeedCalibration {
+            cost: 1 << 20,
+            cov_yield: 0,
+            spent: 1000,
+            children: 0,
+        };
+        let hot = SeedCalibration {
+            cost: 16,
+            cov_yield: 4,
+            spent: 0,
+            children: 8,
+        };
+        let mut counts = [[0u32; 2]; 2];
+        for (which, schedule) in [PowerSchedule::Uniform, PowerSchedule::Fast]
+            .into_iter()
+            .enumerate()
+        {
+            let mut corpus = Corpus::new(3);
+            corpus.add(&[addi(1, 1), ebreak()], 0x1, 0, weak);
+            corpus.add(&[addi(2, 2), ebreak()], 0x2, 0, hot);
+            for _ in 0..512 {
+                counts[which][corpus.select(schedule).unwrap()] += 1;
+            }
+        }
+        let [uniform, fast] = counts;
+        assert!(uniform[0] > 180 && uniform[1] > 180, "{uniform:?}");
+        assert!(fast[1] > 490, "fast must favour the hot seed: {fast:?}");
+        assert!(fast[0] > 0, "energy floor keeps the weak seed alive");
+    }
+
+    #[test]
+    fn record_child_raises_fecundity() {
+        let mut corpus = Corpus::new(4);
+        corpus.add(&[ebreak()], 0x1, 0, SeedCalibration::default());
+        corpus.record_child(0);
+        corpus.record_child(0);
+        assert_eq!(corpus.entries()[0].calibration.children, 2);
     }
 
     #[test]

@@ -12,15 +12,29 @@
 //! trap-cause codes a run raised (as a bitmask). A program that raises a
 //! never-before-seen combination of trap causes is interesting even when
 //! its exact trace digest collides with nothing new.
+//!
+//! Two further cheap keys feed the scheduler's yield signal (they do not
+//! gate corpus admission): the [`pc-transition-pair
+//! fold`](tf_arch::fold_pc_pair) — a digest of the run's control-flow
+//! edge sequence — and the [`opcode-class
+//! histogram fold`](tf_arch::fold_op_classes) — a digest of how many
+//! instructions of each major-opcode class retired. Both come free out
+//! of [`BatchOutcome`](tf_arch::BatchOutcome), so observing them costs
+//! the hot loop nothing; a seed that lights up a new pc-pair or
+//! opcode-mix digest earns scheduler energy even when its exact trace
+//! digest is old news.
 
 use std::collections::HashSet;
 
 /// Set of execution-trace digests (and coarse trap-cause sets) observed
-/// so far.
+/// so far, plus the pc-pair and opcode-class digests feeding the
+/// scheduler's yield signal.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CoverageMap {
     seen: HashSet<u64>,
     trap_sets: HashSet<u64>,
+    pc_pairs: HashSet<u64>,
+    op_classes: HashSet<u64>,
     observations: u64,
 }
 
@@ -44,6 +58,18 @@ impl CoverageMap {
         self.trap_sets.insert(trap_causes)
     }
 
+    /// Record a pc-transition-pair fold. Returns `true` when this
+    /// control-flow edge digest is new.
+    pub fn observe_pc_pairs(&mut self, pc_pairs: u64) -> bool {
+        self.pc_pairs.insert(pc_pairs)
+    }
+
+    /// Record an opcode-class histogram fold. Returns `true` when this
+    /// instruction-mix digest is new.
+    pub fn observe_op_classes(&mut self, op_classes: u64) -> bool {
+        self.op_classes.insert(op_classes)
+    }
+
     /// True when the digest has been observed before.
     #[must_use]
     pub fn contains(&self, trace_digest: u64) -> bool {
@@ -62,6 +88,18 @@ impl CoverageMap {
         self.trap_sets.len()
     }
 
+    /// Number of distinct pc-transition-pair folds seen.
+    #[must_use]
+    pub fn unique_pc_pairs(&self) -> usize {
+        self.pc_pairs.len()
+    }
+
+    /// Number of distinct opcode-class histogram folds seen.
+    #[must_use]
+    pub fn unique_op_classes(&self) -> usize {
+        self.op_classes.len()
+    }
+
     /// Total observations, including repeats.
     #[must_use]
     pub fn observations(&self) -> u64 {
@@ -74,6 +112,8 @@ impl CoverageMap {
     pub fn merge(&mut self, other: &CoverageMap) {
         self.seen.extend(&other.seen);
         self.trap_sets.extend(&other.trap_sets);
+        self.pc_pairs.extend(&other.pc_pairs);
+        self.op_classes.extend(&other.op_classes);
         self.observations += other.observations;
     }
 
@@ -94,6 +134,22 @@ impl CoverageMap {
         sets
     }
 
+    /// The observed pc-transition-pair folds in sorted order.
+    #[must_use]
+    pub fn pc_pairs_sorted(&self) -> Vec<u64> {
+        let mut folds: Vec<u64> = self.pc_pairs.iter().copied().collect();
+        folds.sort_unstable();
+        folds
+    }
+
+    /// The observed opcode-class histogram folds in sorted order.
+    #[must_use]
+    pub fn op_classes_sorted(&self) -> Vec<u64> {
+        let mut folds: Vec<u64> = self.op_classes.iter().copied().collect();
+        folds.sort_unstable();
+        folds
+    }
+
     /// Mark a trace digest as already covered without counting an
     /// observation — how checkpoint restore and corpus priming pre-load
     /// coverage that was earned in an earlier run.
@@ -104,6 +160,18 @@ impl CoverageMap {
     /// Mark a trap-cause set as already covered (no observation counted).
     pub fn admit_trap_set(&mut self, trap_causes: u64) {
         self.trap_sets.insert(trap_causes);
+    }
+
+    /// Mark a pc-transition-pair fold as already covered (no observation
+    /// counted).
+    pub fn admit_pc_pairs(&mut self, pc_pairs: u64) {
+        self.pc_pairs.insert(pc_pairs);
+    }
+
+    /// Mark an opcode-class histogram fold as already covered (no
+    /// observation counted).
+    pub fn admit_op_classes(&mut self, op_classes: u64) {
+        self.op_classes.insert(op_classes);
     }
 
     /// Overwrite the observation counter — checkpoint restore only.
@@ -145,14 +213,37 @@ mod tests {
         a.observe(1);
         a.observe(2);
         a.observe_trap_set(0b1000);
+        a.observe_pc_pairs(0x10);
         let mut b = CoverageMap::new();
         b.observe(2);
         b.observe(3);
         b.observe_trap_set(0b1010);
+        b.observe_pc_pairs(0x10);
+        b.observe_pc_pairs(0x11);
+        b.observe_op_classes(0x20);
         a.merge(&b);
         assert_eq!(a.unique(), 3);
         assert_eq!(a.unique_trap_sets(), 2);
+        assert_eq!(a.unique_pc_pairs(), 2);
+        assert_eq!(a.unique_op_classes(), 1);
         assert_eq!(a.observations(), 4);
         assert!(a.contains(3));
+    }
+
+    #[test]
+    fn yield_keys_are_separate_and_do_not_count_observations() {
+        let mut map = CoverageMap::new();
+        assert!(map.observe_pc_pairs(7));
+        assert!(!map.observe_pc_pairs(7));
+        assert!(map.observe_op_classes(7), "key families are disjoint");
+        assert!(!map.observe_op_classes(7));
+        assert_eq!(map.unique(), 0);
+        assert_eq!(map.observations(), 0);
+        assert_eq!(map.pc_pairs_sorted(), vec![7]);
+        assert_eq!(map.op_classes_sorted(), vec![7]);
+        let mut restored = CoverageMap::new();
+        restored.admit_pc_pairs(7);
+        restored.admit_op_classes(7);
+        assert_eq!(restored, map, "admit mirrors observe minus the count");
     }
 }

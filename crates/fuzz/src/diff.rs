@@ -36,7 +36,10 @@
 //! mismatches and replays, degrading to `window = 1` throughput.
 
 use tf_arch::digest::Fnv;
-use tf_arch::{BatchOutcome, Dut, RunExit, StepOutcome, TraceEntry, Trap};
+use tf_arch::{
+    fold_op_classes, fold_pc_pair, op_class, BatchOutcome, Dut, RunExit, StepOutcome, TraceEntry,
+    Trap, OP_CLASS_BUCKETS, PC_PAIRS_SEED,
+};
 use tf_riscv::Instruction;
 
 /// Default comparison window: digests are sampled and compared every
@@ -139,6 +142,14 @@ pub enum DiffVerdict {
         /// raised during the run (bit `c` set iff a trap with
         /// `mcause == c` occurred) — the coarse secondary coverage key.
         trap_causes: u64,
+        /// [`fold_pc_pair`] fold of the reference's control-flow edge
+        /// sequence — the cheap path-shape key feeding the scheduler's
+        /// yield signal.
+        pc_pairs: u64,
+        /// [`fold_op_classes`] fold of the reference's retired
+        /// opcode-class histogram — the cheap instruction-mix key
+        /// feeding the scheduler's yield signal.
+        op_classes: u64,
     },
     /// The DUT diverged from the reference.
     Diverged(Divergence),
@@ -225,6 +236,18 @@ impl std::fmt::Display for Divergence {
     }
 }
 
+/// Reusable per-diff buffers: the two [`BatchOutcome`]s a windowed run
+/// fills. Campaign hot loops hold one of these and pass it to
+/// [`DiffEngine::diff_with`] so the per-window sample vectors are
+/// cleared, never reallocated, across thousands of runs.
+#[derive(Debug, Clone, Default)]
+pub struct DiffScratch {
+    /// The reference side's batch outcome.
+    pub reference: BatchOutcome,
+    /// The DUT side's batch outcome.
+    pub dut: BatchOutcome,
+}
+
 /// Windowed lockstep differential executor.
 #[derive(Debug, Clone, Copy)]
 pub struct DiffEngine {
@@ -271,6 +294,27 @@ impl DiffEngine {
         dut: &mut dyn Dut,
         program: &[Instruction],
     ) -> Result<DiffVerdict, Trap> {
+        let mut scratch = DiffScratch::default();
+        self.diff_with(reference, dut, program, &mut scratch)
+    }
+
+    /// [`DiffEngine::diff`] with caller-owned batch buffers: the windowed
+    /// run fills `scratch` via [`Dut::run_into`] instead of allocating
+    /// two fresh [`BatchOutcome`]s, so a campaign's one-batch-per-program
+    /// hot loop never reallocates the sample vectors. The verdict is
+    /// bit-identical to [`DiffEngine::diff`]'s.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Trap`] raised when the program cannot be loaded
+    /// (does not fit in memory, or fails to encode).
+    pub fn diff_with(
+        &self,
+        reference: &mut dyn Dut,
+        dut: &mut dyn Dut,
+        program: &[Instruction],
+        scratch: &mut DiffScratch,
+    ) -> Result<DiffVerdict, Trap> {
         reference.reset();
         dut.reset();
         reference.load(self.config.base, program)?;
@@ -280,9 +324,15 @@ impl DiffEngine {
             // on agreement, and the replay recollects both sides' traces
             // on mismatch.
             reference.enable_tracing();
-            let ref_batch = reference.run(self.config.max_steps, self.config.window);
-            let dut_batch = dut.run(self.config.max_steps, self.config.window);
-            if let Some(verdict) = self.agree_on_batches(reference, &ref_batch, &dut_batch) {
+            reference.run_into(
+                self.config.max_steps,
+                self.config.window,
+                &mut scratch.reference,
+            );
+            dut.run_into(self.config.max_steps, self.config.window, &mut scratch.dut);
+            if let Some(verdict) =
+                self.agree_on_batches(reference, &scratch.reference, &scratch.dut)
+            {
                 return Ok(verdict);
             }
             // Some window disagreed: replay from reset, step by step, to
@@ -313,6 +363,8 @@ impl DiffEngine {
             exit: ref_batch.exit,
             trace_digest,
             trap_causes: ref_batch.trap_causes,
+            pc_pairs: ref_batch.pc_pairs,
+            op_classes: ref_batch.op_classes,
         })
     }
 
@@ -326,10 +378,20 @@ impl DiffEngine {
         let mut verdict = None;
         let mut steps = 0;
         let mut trap_causes = 0u64;
+        // The yield-signal folds are computed reference-side with the
+        // exact scheme the default `Dut::run_into` uses, so windowed and
+        // exact verdicts carry bit-identical folds.
+        let mut pc_pairs = PC_PAIRS_SEED;
+        let mut classes = [0u32; OP_CLASS_BUCKETS];
         while steps < self.config.max_steps {
+            let from = reference.pc();
             let ref_outcome = reference.step();
             let dut_outcome = dut.step();
             steps += 1;
+            pc_pairs = fold_pc_pair(pc_pairs, from, reference.pc());
+            if let StepOutcome::Retired(insn) = ref_outcome {
+                classes[op_class(&insn)] += 1;
+            }
             let (ref_digest, dut_digest) = (reference.digest(), dut.digest());
             if ref_outcome != dut_outcome || ref_digest != dut_digest {
                 verdict = Some((steps, ref_digest, dut_digest));
@@ -346,6 +408,8 @@ impl DiffEngine {
                         RunExit::Breakpoint { steps },
                         steps,
                         trap_causes,
+                        pc_pairs,
+                        &classes,
                     );
                 }
                 StepOutcome::Trapped(Trap::EnvironmentCall) => {
@@ -355,13 +419,23 @@ impl DiffEngine {
                         RunExit::EnvironmentCall { steps },
                         steps,
                         trap_causes,
+                        pc_pairs,
+                        &classes,
                     );
                 }
                 _ => {}
             }
         }
         match verdict {
-            None => self.agree(reference, dut, RunExit::OutOfGas, steps, trap_causes),
+            None => self.agree(
+                reference,
+                dut,
+                RunExit::OutOfGas,
+                steps,
+                trap_causes,
+                pc_pairs,
+                &classes,
+            ),
             Some((step, reference_digest, dut_digest)) => {
                 let ref_entry = reference
                     .take_trace()
@@ -378,6 +452,7 @@ impl DiffEngine {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn agree(
         &self,
         reference: &mut dyn Dut,
@@ -385,6 +460,8 @@ impl DiffEngine {
         exit: RunExit,
         steps: u64,
         trap_causes: u64,
+        pc_pairs: u64,
+        classes: &[u32; OP_CLASS_BUCKETS],
     ) -> DiffVerdict {
         let trace_digest = reference.take_trace().map_or(0, |t| t.digest());
         dut.take_trace();
@@ -393,6 +470,8 @@ impl DiffEngine {
             exit,
             trace_digest,
             trap_causes,
+            pc_pairs,
+            op_classes: fold_op_classes(classes),
         }
     }
 }
@@ -430,12 +509,18 @@ mod tests {
                 exit,
                 trace_digest,
                 trap_causes,
+                pc_pairs,
+                op_classes,
             } => {
                 assert_eq!(steps, 3);
                 assert_eq!(exit, RunExit::Breakpoint { steps: 3 });
                 assert_ne!(trace_digest, 0);
                 // The only trap was the terminating breakpoint (cause 3).
                 assert_eq!(trap_causes, 1 << 3);
+                // Three steps folded into the path key; two retirements
+                // into the instruction-mix key.
+                assert_ne!(pc_pairs, PC_PAIRS_SEED);
+                assert_ne!(op_classes, fold_op_classes(&[0; OP_CLASS_BUCKETS]));
             }
             DiffVerdict::Diverged(d) => panic!("unexpected divergence: {d}"),
         }

@@ -115,23 +115,32 @@ impl ProgramGenerator {
     /// An empty library degenerates to the bare `ebreak` terminator —
     /// never a panic, matching the library's own empty-set contract.
     pub fn generate(&mut self, len: usize) -> Vec<Instruction> {
+        let mut program = Vec::with_capacity(len.max(1));
+        self.generate_into(len, &mut program);
+        program
+    }
+
+    /// [`generate`](Self::generate) into a caller-owned buffer, which is
+    /// cleared first — the campaign hot loop's one-program-per-run
+    /// allocation, amortised away. Consumes exactly the RNG draws
+    /// `generate` would, so the two are interchangeable mid-stream.
+    pub fn generate_into(&mut self, len: usize, out: &mut Vec<Instruction>) {
         let len = len.max(1);
-        let mut program = Vec::with_capacity(len);
+        out.clear();
         self.live.clear();
-        while program.len() + 1 < len {
+        while out.len() + 1 < len {
             if self.rng.chance(self.config.rm_stress) {
-                let space = len - 1 - program.len();
-                if self.plant_rm_stressor(&mut program, space) {
+                let space = len - 1 - out.len();
+                if self.plant_rm_stressor(out, space) {
                     continue;
                 }
             }
             match self.tournament() {
-                Some(insn) => program.push(insn),
+                Some(insn) => out.push(insn),
                 None => break,
             }
         }
-        program.push(Instruction::system(Opcode::Ebreak));
-        program
+        out.push(Instruction::system(Opcode::Ebreak));
     }
 
     /// Draw `tournament` candidates and keep the one using the most

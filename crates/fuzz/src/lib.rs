@@ -13,8 +13,11 @@
 //! * [`CoverageMap`] — behavioural coverage keyed on execution-trace
 //!   digests ([`tf_arch::ExecutionTrace::digest`]).
 //! * [`Corpus`] — seed programs that earned new coverage, with
-//!   deterministic mutation ([`Corpus::mutate`]) and reproducer shrinking
-//!   ([`minimize`]).
+//!   deterministic mutation ([`Corpus::mutate_into`]) and reproducer
+//!   shrinking ([`minimize`]). Each seed carries a [`SeedCalibration`]
+//!   record (cost, coverage yield, fecundity) that a [`PowerSchedule`]
+//!   turns into energy-weighted selection — uniform, AFL-fast-flavoured
+//!   or explore — without giving up bit-determinism.
 //! * [`DiffEngine`] — windowed lockstep reference-vs-DUT execution
 //!   (configured by [`DiffConfig`]): digests are compared every
 //!   [`DiffConfig::window`] steps via the batched [`tf_arch::Dut::run`],
@@ -75,13 +78,17 @@ mod diff;
 mod generator;
 pub mod persist;
 mod rng;
+mod schedule;
 mod shard;
 
 pub use campaign::{Campaign, CampaignConfig, CampaignReport, RestoreError};
-pub use corpus::{minimize, Corpus, SeedEntry};
+pub use corpus::{minimize, Corpus, SeedCalibration, SeedEntry};
 pub use coverage::CoverageMap;
-pub use diff::{ConfigError, DiffConfig, DiffEngine, DiffVerdict, Divergence, DEFAULT_WINDOW};
+pub use diff::{
+    ConfigError, DiffConfig, DiffEngine, DiffScratch, DiffVerdict, Divergence, DEFAULT_WINDOW,
+};
 pub use generator::{GeneratorConfig, ProgramGenerator};
+pub use schedule::{PowerSchedule, MAX_ENERGY};
 pub use shard::{
     run_sharded, run_sharded_seeded, shard_config, worker_seed, ShardedReport, WorkerReport,
 };
@@ -111,8 +118,8 @@ pub mod prelude {
     pub use crate::{
         minimize, run_sharded, run_sharded_seeded, shard_config, worker_seed, Campaign,
         CampaignConfig, CampaignReport, ConfigError, Corpus, CoverageMap, DiffConfig, DiffEngine,
-        DiffVerdict, Divergence, RestoreError, SeedEntry, ShardedReport, WorkerReport,
-        DEFAULT_WINDOW,
+        DiffScratch, DiffVerdict, Divergence, PowerSchedule, RestoreError, SeedCalibration,
+        SeedEntry, ShardedReport, WorkerReport, DEFAULT_WINDOW,
     };
     pub use tf_arch::{fold_sample, BatchOutcome, BugScenario, Dut, Hart, MutantHart, RunExit};
 }

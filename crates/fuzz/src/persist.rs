@@ -23,7 +23,8 @@
 //! ```
 //!
 //! Two record tags exist today. [`TAG_SEED`] records are corpus entries
-//! — the program words plus both coverage keys — and are what
+//! — the program words, both coverage keys and the seed's scheduler
+//! calibration record — and are what
 //! `tf-cli corpus info|merge|minimize` operate on. A [`TAG_CHECKPOINT`]
 //! record is a full campaign freeze (counters, every RNG stream
 //! position, the coverage map, recorded divergences): together with the
@@ -48,7 +49,7 @@ use tf_riscv::csr::Cause;
 use tf_riscv::{Fpr, Gpr, Instruction, Reg};
 
 use crate::campaign::CampaignReport;
-use crate::corpus::SeedEntry;
+use crate::corpus::{SeedCalibration, SeedEntry};
 use crate::coverage::CoverageMap;
 use crate::diff::Divergence;
 
@@ -64,7 +65,16 @@ pub const MAGIC: [u8; 8] = *b"TFCORPUS";
 /// checkpoints embed state digests, so a digest-scheme change is a
 /// layout-compatible but *semantically* incompatible change and gets a
 /// version bump of its own on top of the fingerprint check.
-pub const FORMAT_VERSION: u32 = 2;
+///
+/// Version 3 adds scheduler state: every seed record carries its
+/// [`SeedCalibration`] (cost, coverage yield,
+/// mutations spent, children admitted), and checkpoints additionally
+/// freeze the yield-signal coverage sets (pc-pair and opcode-class
+/// folds) plus the report's first-divergence latency. A v2 corpus is
+/// rejected outright — replaying it with zeroed calibration would give
+/// power schedules a silently different energy landscape than the run
+/// that wrote it.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Record tag for one corpus seed entry.
 pub const TAG_SEED: u8 = 1;
@@ -266,6 +276,11 @@ fn write_seed(entry: &SeedEntry) -> Vec<u8> {
     for insn in &entry.program {
         c.u32(insn.encode_lossy());
     }
+    // v3: the calibration record that power schedules turn into energy.
+    c.u64(entry.calibration.cost);
+    c.u8(entry.calibration.cov_yield);
+    c.u64(entry.calibration.spent);
+    c.u64(entry.calibration.children);
     c.bytes
 }
 
@@ -286,10 +301,17 @@ fn read_seed(payload: &[u8]) -> Option<SeedEntry> {
     if program.last().map(Instruction::opcode) != Some(tf_riscv::Opcode::Ebreak) {
         return None;
     }
+    let calibration = SeedCalibration {
+        cost: s.u64()?,
+        cov_yield: s.u8()?,
+        spent: s.u64()?,
+        children: s.u64()?,
+    };
     s.exhausted().then_some(SeedEntry {
         program,
         trace_digest,
         trap_causes,
+        calibration,
     })
 }
 
@@ -426,6 +448,17 @@ fn write_checkpoint(cp: &CampaignCheckpoint) -> Vec<u8> {
     c.u32(trap_sets.len() as u32);
     trap_sets.into_iter().for_each(|t| c.u64(t));
     c.u64(cp.coverage.observations());
+
+    // v3 tail: the yield-signal coverage sets and the detection-latency
+    // counter, so resumed campaigns keep the exact energy landscape and
+    // first-divergence bookkeeping of an uninterrupted run.
+    let pc_pairs = cp.coverage.pc_pairs_sorted();
+    c.u32(pc_pairs.len() as u32);
+    pc_pairs.into_iter().for_each(|p| c.u64(p));
+    let op_classes = cp.coverage.op_classes_sorted();
+    c.u32(op_classes.len() as u32);
+    op_classes.into_iter().for_each(|o| c.u64(o));
+    c.u64(cp.report.first_divergence_at.unwrap_or(u64::MAX));
     c.bytes
 }
 
@@ -475,6 +508,21 @@ fn read_checkpoint(payload: &[u8]) -> Option<CampaignCheckpoint> {
         coverage.admit_trap_set(s.u64()?);
     }
     coverage.set_observations(s.u64()?);
+
+    let pc_pairs = s.u32()? as usize;
+    for _ in 0..pc_pairs {
+        coverage.admit_pc_pairs(s.u64()?);
+    }
+    let op_classes = s.u32()? as usize;
+    for _ in 0..op_classes {
+        coverage.admit_op_classes(s.u64()?);
+    }
+    // `u64::MAX` is the no-divergence-yet sentinel (a real campaign
+    // cannot generate that many instructions).
+    report.first_divergence_at = match s.u64()? {
+        u64::MAX => None,
+        at => Some(at),
+    };
     report.unique_traces = coverage.unique();
     report.unique_trap_sets = coverage.unique_trap_sets();
 
@@ -672,6 +720,7 @@ mod tests {
             program: words.to_vec(),
             trace_digest: digest,
             trap_causes: traps,
+            calibration: SeedCalibration::default(),
         }
     }
 
@@ -692,6 +741,36 @@ mod tests {
         assert_eq!(loaded.report.skipped, 0);
         assert!(!loaded.report.truncated);
         assert!(loaded.checkpoint.is_none());
+    }
+
+    #[test]
+    fn calibration_round_trips_through_seed_records() {
+        let mut seeded = entry(&[Instruction::nop(), ebreak()], 0xC0DE, 0b10);
+        seeded.calibration = SeedCalibration {
+            cost: 12_345,
+            cov_yield: 3,
+            spent: 77,
+            children: 9,
+        };
+        let plain = entry(&[ebreak()], 0xF00D, 0);
+        let bytes = file_bytes(&[seeded.clone(), plain.clone()], None);
+        let loaded = load_bytes(&bytes).unwrap();
+        assert_eq!(loaded.entries, vec![seeded, plain]);
+        assert_eq!(loaded.entries[0].calibration.cost, 12_345);
+        assert_eq!(loaded.entries[1].calibration, SeedCalibration::default());
+    }
+
+    #[test]
+    fn a_version_2_corpus_is_rejected_with_a_clear_error() {
+        let mut v2 = file_bytes(&[entry(&[ebreak()], 1, 0)], None);
+        v2[8..12].copy_from_slice(&2u32.to_le_bytes());
+        let err = load_bytes(&v2).unwrap_err();
+        assert!(matches!(err, PersistError::UnsupportedVersion { found: 2 }));
+        let message = err.to_string();
+        assert!(
+            message.contains("version 2") && message.contains("reads 3"),
+            "{message}"
+        );
     }
 
     #[test]
@@ -734,10 +813,10 @@ mod tests {
         ];
         let mut bytes = file_bytes(&entries, None);
         // Flip one byte inside the second record's payload (header is 20
-        // bytes; record 1 occupies 1 + 4 + 1 + 28 + 8 = 42 bytes, and the
+        // bytes; record 1 occupies 1 + 4 + 1 + 53 + 8 = 67 bytes, and the
         // second record's payload starts after its own 6-byte frame
         // header).
-        let second_payload_start = 20 + 42 + 6;
+        let second_payload_start = 20 + 67 + 6;
         bytes[second_payload_start] ^= 0xFF;
         let loaded = load_bytes(&bytes).unwrap();
         assert_eq!(loaded.report.loaded, 2);
@@ -758,7 +837,7 @@ mod tests {
         // Flip a byte of the second record's *length* field (bytes the
         // payload checksum cannot cover): the frame check catches it and
         // parsing stops instead of consuming the tail as garbage.
-        let second_len_field = 20 + 42 + 1;
+        let second_len_field = 20 + 67 + 1;
         bytes[second_len_field] ^= 0xFF;
         let loaded = load_bytes(&bytes).unwrap();
         assert_eq!(loaded.report.loaded, 1);

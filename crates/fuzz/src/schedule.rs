@@ -1,0 +1,179 @@
+//! Power schedules: how much mutation energy each corpus seed earns.
+//!
+//! Uniform seed selection spends as many mutations on a stale,
+//! expensive seed as on a fresh one that keeps producing new coverage.
+//! AFL-style power schedules fix that by assigning each seed an
+//! *energy* from its calibration record
+//! ([`SeedCalibration`]) — execution cost,
+//! coverage yield and mutation fecundity — and drawing seeds with
+//! probability proportional to energy. The arithmetic is integer-only
+//! and branch-free of any float rounding, so campaigns stay
+//! bit-deterministic across platforms: same seed, same schedule, same
+//! byte-identical report.
+//!
+//! [`PowerSchedule::Uniform`] assigns every seed energy 1, which makes
+//! the weighted draw collapse to exactly the pre-scheduler uniform
+//! pick — one RNG draw, identical stream — so the uniform schedule
+//! reproduces historical campaigns bit for bit.
+
+use crate::corpus::SeedCalibration;
+
+/// Ceiling on any seed's energy, bounding how hard a hot seed can
+/// starve the rest of the corpus.
+pub const MAX_ENERGY: u64 = 256;
+
+/// A deterministic power schedule mapping a seed's calibration record
+/// to its selection energy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum PowerSchedule {
+    /// Every seed gets energy 1: the historical uniform pick,
+    /// bit-identical to pre-scheduler campaigns.
+    #[default]
+    Uniform,
+    /// AFL-fast flavoured: energy grows with coverage yield and
+    /// fecundity (children admitted), shrinks logarithmically with
+    /// mutation attempts already spent and with execution cost.
+    Fast,
+    /// Novelty-hunting: fresh seeds start hot (energy 64) and cool by
+    /// halving per mutation spent, with a floor of 1 plus the seed's
+    /// coverage yield — cheap breadth-first sweeps of new corpus
+    /// entries.
+    Explore,
+}
+
+impl PowerSchedule {
+    /// Every schedule, in the order `--schedule` documents them.
+    pub const ALL: [PowerSchedule; 3] = [
+        PowerSchedule::Uniform,
+        PowerSchedule::Fast,
+        PowerSchedule::Explore,
+    ];
+
+    /// Stable identifier, as accepted by [`PowerSchedule::parse`] and
+    /// the `--schedule` CLI flag.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            PowerSchedule::Uniform => "uniform",
+            PowerSchedule::Fast => "fast",
+            PowerSchedule::Explore => "explore",
+        }
+    }
+
+    /// Parse an identifier produced by [`PowerSchedule::id`].
+    #[must_use]
+    pub fn parse(id: &str) -> Option<PowerSchedule> {
+        PowerSchedule::ALL
+            .into_iter()
+            .find(|schedule| schedule.id() == id)
+    }
+
+    /// The selection energy `calibration` earns under this schedule.
+    /// Always in `1..=MAX_ENERGY`: no seed is ever starved completely,
+    /// and no seed can dominate the draw unboundedly.
+    #[must_use]
+    pub fn energy(self, calibration: &SeedCalibration) -> u64 {
+        let SeedCalibration {
+            cost,
+            cov_yield,
+            spent,
+            children,
+        } = *calibration;
+        match self {
+            PowerSchedule::Uniform => 1,
+            PowerSchedule::Fast => {
+                let reward = 8 * (1 + u64::from(cov_yield)) * (1 + children.min(8));
+                let fatigue = 1 + u64::from(spent.saturating_add(1).ilog2());
+                let expense = 1 + u64::from(cost.max(1).ilog2());
+                (reward / (fatigue * expense)).clamp(1, MAX_ENERGY)
+            }
+            PowerSchedule::Explore => {
+                let heat = 64u64 >> spent.min(6);
+                heat.max(1) + u64::from(cov_yield)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for PowerSchedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn calibration(cost: u64, cov_yield: u8, spent: u64, children: u64) -> SeedCalibration {
+        SeedCalibration {
+            cost,
+            cov_yield,
+            spent,
+            children,
+        }
+    }
+
+    #[test]
+    fn ids_round_trip_and_default_is_uniform() {
+        for schedule in PowerSchedule::ALL {
+            assert_eq!(PowerSchedule::parse(schedule.id()), Some(schedule));
+            assert_eq!(schedule.to_string(), schedule.id());
+        }
+        assert_eq!(PowerSchedule::parse("nope"), None);
+        assert_eq!(PowerSchedule::default(), PowerSchedule::Uniform);
+    }
+
+    #[test]
+    fn uniform_energy_is_always_one() {
+        for calibration in [calibration(0, 0, 0, 0), calibration(1_000_000, 4, 999, 50)] {
+            assert_eq!(PowerSchedule::Uniform.energy(&calibration), 1);
+        }
+    }
+
+    #[test]
+    fn every_energy_is_bounded_and_positive() {
+        for schedule in PowerSchedule::ALL {
+            for cost in [0, 1, 17, 1 << 40, u64::MAX] {
+                for cov_yield in [0, 1, 4] {
+                    for spent in [0, 1, 6, 1 << 50, u64::MAX] {
+                        for children in [0, 3, u64::MAX] {
+                            let energy =
+                                schedule.energy(&calibration(cost, cov_yield, spent, children));
+                            assert!(
+                                (1..=MAX_ENERGY).contains(&energy),
+                                "{schedule} gave energy {energy}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_rewards_yield_and_fecundity_and_penalises_cost_and_spend() {
+        let fast = PowerSchedule::Fast;
+        let base = calibration(64, 1, 0, 1);
+        assert!(fast.energy(&calibration(64, 4, 0, 1)) > fast.energy(&base));
+        assert!(fast.energy(&calibration(64, 1, 0, 8)) > fast.energy(&base));
+        assert!(fast.energy(&calibration(1 << 20, 1, 0, 1)) < fast.energy(&base));
+        assert!(fast.energy(&calibration(64, 1, 500, 1)) < fast.energy(&base));
+    }
+
+    #[test]
+    fn explore_cools_as_mutations_are_spent() {
+        let explore = PowerSchedule::Explore;
+        let fresh = explore.energy(&calibration(64, 0, 0, 0));
+        let warm = explore.energy(&calibration(64, 0, 3, 0));
+        let cold = explore.energy(&calibration(64, 0, 100, 0));
+        assert_eq!(fresh, 64);
+        assert!(fresh > warm && warm > cold);
+        assert_eq!(cold, 1, "cooled seeds keep the floor energy");
+        assert_eq!(
+            explore.energy(&calibration(64, 3, 100, 0)),
+            4,
+            "yield lifts the floor"
+        );
+    }
+}

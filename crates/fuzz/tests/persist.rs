@@ -35,7 +35,18 @@ fn generated_corpora_round_trip_exactly() {
         let mut corpus = Corpus::new(seed);
         for i in 0..32 {
             let program = generator.generate(3 + (i % 29));
-            corpus.add(program, seed.wrapping_mul(31) ^ i as u64, i as u64 & 0xFF);
+            let calibration = SeedCalibration {
+                cost: 10 + i as u64,
+                cov_yield: (i % 5) as u8,
+                spent: i as u64 * 3,
+                children: i as u64 % 4,
+            };
+            corpus.add(
+                &program,
+                seed.wrapping_mul(31) ^ i as u64,
+                i as u64 & 0xFF,
+                calibration,
+            );
         }
         let path = temp_path(&format!("roundtrip-{seed}.tfc"));
         corpus.save(&path).unwrap();
@@ -88,7 +99,7 @@ fn truncation_and_corruption_salvage_the_rest() {
     let mut generator = ProgramGenerator::new(library, 9);
     let mut corpus = Corpus::new(9);
     for i in 0..10 {
-        corpus.add(generator.generate(8), i, 0);
+        corpus.add(&generator.generate(8), i, 0, SeedCalibration::default());
     }
     let path = temp_path("salvage.tfc");
     corpus.save(&path).unwrap();
@@ -179,12 +190,56 @@ fn resume_through_the_file_is_bit_identical() {
     std::fs::remove_file(&path).unwrap();
 }
 
+/// Same pipeline under a non-uniform power schedule: the calibration
+/// records and yield-signal coverage sets that drive energy assignment
+/// must survive the file round trip, or the resumed half would walk a
+/// different selection trajectory.
+#[test]
+fn resume_through_the_file_is_bit_identical_under_a_feedback_schedule() {
+    let schedule_config = |budget: u64| config(0xFA57, budget).with_schedule(PowerSchedule::Fast);
+    let full_budget = 4_000;
+    let mut uninterrupted = Campaign::new(schedule_config(full_budget));
+    let mut dut = Hart::new(MEM);
+    let want = uninterrupted.run(&mut dut);
+
+    let mut first = Campaign::new(schedule_config(full_budget / 2));
+    let mut dut = Hart::new(MEM);
+    let half_report = first.run(&mut dut);
+    let path = temp_path("resume-fast.tfc");
+    persist::save_campaign(
+        &path,
+        first.corpus().entries(),
+        &first.checkpoint(&half_report),
+    )
+    .unwrap();
+
+    let loaded = persist::load_file(&path).unwrap();
+    let checkpoint = loaded.checkpoint.expect("checkpoint was saved");
+    let mut second =
+        Campaign::restore(schedule_config(full_budget), &checkpoint, &loaded.entries).unwrap();
+    let mut dut = Hart::new(MEM);
+    let got = second.resume(&mut dut, checkpoint.report.clone());
+
+    assert_eq!(got, want, "feedback-schedule resume must be bit-identical");
+    assert_eq!(second.corpus().entries(), uninterrupted.corpus().entries());
+
+    // The same checkpoint under a different schedule is a config
+    // mismatch, caught at restore.
+    assert!(matches!(
+        Campaign::restore(config(0xFA57, full_budget), &checkpoint, &loaded.entries),
+        Err(RestoreError::ConfigMismatch { .. })
+    ));
+
+    std::fs::remove_file(&path).unwrap();
+}
+
 #[test]
 fn merge_entries_dedups_by_coverage_key() {
     let entry = |digest: u64, traps: u64| SeedEntry {
         program: vec![tf_riscv::Instruction::nop()],
         trace_digest: digest,
         trap_causes: traps,
+        calibration: SeedCalibration::default(),
     };
     let mut corpus = Corpus::new(0);
     assert_eq!(corpus.merge_entries(&[entry(1, 0), entry(2, 0)]), 2);

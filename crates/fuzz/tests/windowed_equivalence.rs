@@ -94,6 +94,9 @@ impl<D: Dut> Dut for PerStep<D> {
     fn step(&mut self) -> tf_arch::StepOutcome {
         self.0.step()
     }
+    fn pc(&self) -> u64 {
+        self.0.pc()
+    }
     fn digest(&self) -> u64 {
         self.0.digest()
     }
@@ -181,4 +184,14 @@ fn fflags_verdicts_are_window_invariant() {
 #[test]
 fn csrmask_verdicts_are_window_invariant() {
     sweep(Some(BugScenario::CsrWriteMask));
+}
+
+#[test]
+fn btrunc_verdicts_are_window_invariant() {
+    sweep(Some(BugScenario::BranchOffsetTruncation));
+}
+
+#[test]
+fn ldsext_verdicts_are_window_invariant() {
+    sweep(Some(BugScenario::SignExtensionDroppedLoad));
 }
