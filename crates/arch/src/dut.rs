@@ -137,6 +137,55 @@ pub fn fold_sample(digest: u64, history: u64, retired: u64) -> u64 {
     fnv.finish()
 }
 
+/// How an out-of-process device under test failed (see
+/// [`DutFailure`]). In-process backends never fail this way; subprocess
+/// backends surface every child-process pathology as one of these three
+/// kinds so campaigns can record it as a first-class finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DutFailureKind {
+    /// The child process died: exited, was killed by a signal, or closed
+    /// its protocol stream at a frame boundary.
+    Crash,
+    /// The child failed to answer within the supervisor's per-request
+    /// wall-clock deadline.
+    Hang,
+    /// The child sent bytes that are not a well-formed protocol frame —
+    /// the stream can no longer be trusted and is torn down.
+    Desync,
+}
+
+impl std::fmt::Display for DutFailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DutFailureKind::Crash => "crash",
+            DutFailureKind::Hang => "hang",
+            DutFailureKind::Desync => "desync",
+        })
+    }
+}
+
+/// A failure an out-of-process backend observed while servicing [`Dut`]
+/// operations, reported out of band through [`Dut::take_failure`].
+///
+/// The trait methods themselves stay total: a failing backend returns
+/// inert placeholder results (which the differential engine discards)
+/// and parks the failure here until the campaign drains it. `detail`
+/// must be a deterministic function of the failure — it is deduplicated,
+/// persisted and displayed, so wall-clock times, pids and addresses do
+/// not belong in it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DutFailure {
+    /// What went wrong.
+    pub kind: DutFailureKind,
+    /// Deterministic, human-readable cause ("exited with code 117",
+    /// "no response within 5000ms", …).
+    pub detail: String,
+    /// Whether the backend recovered (respawned within its policy) and
+    /// the campaign may keep fuzzing. `false` means the backend is
+    /// permanently inert and the campaign should stop gracefully.
+    pub can_continue: bool,
+}
+
 /// A device under test: anything that can execute RV64 programs and
 /// expose its architectural state for differential comparison.
 ///
@@ -206,6 +255,18 @@ pub trait Dut {
     /// degradation as the [`Dut::write_history`] default.
     fn pc(&self) -> u64 {
         0
+    }
+
+    /// Take the failure (if any) the backend observed since this was
+    /// last called. In-process backends never fail — the default always
+    /// returns `None`. Out-of-process backends park crash/hang/desync
+    /// events here (their [`Dut`] methods meanwhile return inert
+    /// results); campaign drivers must drain this after every
+    /// differential run, discard that run's verdict when a failure
+    /// surfaced, and stop when
+    /// [`can_continue`](DutFailure::can_continue) is `false`.
+    fn take_failure(&mut self) -> Option<DutFailure> {
+        None
     }
 
     /// Execute a batch of up to `max_steps` steps, stopping early at an

@@ -55,6 +55,14 @@ impl ExecutionTrace {
         Self::default()
     }
 
+    /// Rebuild a trace from recorded entries — how remote backends hand
+    /// a deserialized trace back across the [`Dut`](crate::Dut)
+    /// boundary.
+    #[must_use]
+    pub fn from_entries(entries: Vec<TraceEntry>) -> Self {
+        Self { entries }
+    }
+
     pub(crate) fn push(&mut self, entry: TraceEntry) {
         self.entries.push(entry);
     }

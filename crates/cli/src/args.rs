@@ -9,6 +9,7 @@ tf-cli — TurboFuzz differential fuzzing campaigns
 
 USAGE:
     tf-cli fuzz [OPTIONS]
+    tf-cli serve [OPTIONS]
     tf-cli corpus info <FILE>
     tf-cli corpus merge <OUT> <IN>...
     tf-cli corpus minimize <FILE> [--out <OUT>]
@@ -33,8 +34,18 @@ FUZZ OPTIONS:
     --mutant <ID>     fuzz a known-buggy DUT: b2 | imm | fflags |
                       csrmask | btrunc | ldsext
                       (default: the golden reference hart)
-    --expect <WHAT>   exit non-zero unless the campaign reported
-                      `divergence` or came back `clean`
+    --dut cmd:<ARGV>  fuzz an out-of-process DUT: spawn ARGV
+                      (whitespace-split) and speak the remote-DUT wire
+                      protocol over its stdin/stdout — e.g.
+                      `--dut \"cmd:tf-cli serve --mutant b2\"`. Child
+                      crashes, hangs and protocol desyncs become
+                      findings in the report; the child is respawned
+                      with bounded exponential backoff and the campaign
+                      keeps fuzzing. Requires --jobs 1 and excludes
+                      --mutant (inject bugs server-side instead)
+    --expect <WHAT>   exit non-zero unless the campaign reported what
+                      you asked for: divergence | clean | crash | hang
+                      (clean also requires zero dut failures)
     --corpus <FILE>   persistent corpus: seed the campaign from FILE when
                       it exists, and save the grown corpus back to it
                       (atomically) when the campaign finishes; with
@@ -44,6 +55,18 @@ FUZZ OPTIONS:
                       single uninterrupted run; requires --jobs 1 and the
                       same seed/len/flags as the checkpointed run
     -h, --help        print this help
+
+SERVE OPTIONS (the server side of `--dut`; protocol frames only on
+stdout, diagnostics on stderr):
+    --mutant <ID>           serve a known-buggy DUT (same ids as fuzz)
+    --mem <BYTES>           served memory size; must match the client
+                            campaign's mem_size (default 1048576)
+    --chaos-crash-after <N> exit abruptly at cumulative batch N (0-based)
+    --chaos-hang-after <N>  stop answering at cumulative batch N
+    --chaos-garble-after <N> send one corrupt frame at cumulative batch N
+                            (each chaos trigger fires exactly once per
+                            campaign: batch ordinals count across
+                            respawns and --resume)
 
 CORPUS COMMANDS (all files use the versioned on-disk corpus format):
     info              print header, entry and coverage statistics
@@ -57,8 +80,12 @@ CORPUS COMMANDS (all files use the versioned on-disk corpus format):
 pub enum Expectation {
     /// At least one divergence must be reported.
     Divergence,
-    /// No divergence may be reported.
+    /// No divergence — and no DUT failure — may be reported.
     Clean,
+    /// At least one DUT crash finding must be reported.
+    Crash,
+    /// At least one DUT hang finding must be reported.
+    Hang,
 }
 
 impl std::fmt::Display for Expectation {
@@ -66,6 +93,8 @@ impl std::fmt::Display for Expectation {
         f.write_str(match self {
             Expectation::Divergence => "divergence",
             Expectation::Clean => "clean",
+            Expectation::Crash => "crash",
+            Expectation::Hang => "hang",
         })
     }
 }
@@ -87,6 +116,8 @@ pub struct FuzzArgs {
     pub schedule: PowerSchedule,
     /// Bug scenario to inject into the DUT, if any.
     pub mutant: Option<BugScenario>,
+    /// Out-of-process DUT command (whitespace-split argv), if any.
+    pub dut: Option<Vec<String>>,
     /// Required campaign outcome, if any.
     pub expect: Option<Expectation>,
     /// Persistent corpus file to load seeds from and save back to.
@@ -107,6 +138,7 @@ impl Default for FuzzArgs {
             jobs: 1,
             schedule: PowerSchedule::Uniform,
             mutant: None,
+            dut: None,
             expect: None,
             corpus: None,
             resume: false,
@@ -170,13 +202,27 @@ impl FuzzArgs {
                         format!("unknown mutant `{id}` (known: {})", known.join(", "))
                     })?);
                 }
+                "--dut" => {
+                    let spec = value("--dut")?;
+                    let rest = spec
+                        .strip_prefix("cmd:")
+                        .ok_or_else(|| format!("`--dut` expects `cmd:<argv>`, got `{spec}`"))?;
+                    let argv: Vec<String> = rest.split_whitespace().map(str::to_string).collect();
+                    if argv.is_empty() {
+                        return Err("`--dut cmd:` needs a command to run".into());
+                    }
+                    args.dut = Some(argv);
+                }
                 "--expect" => {
                     args.expect = Some(match value("--expect")?.as_str() {
                         "divergence" => Expectation::Divergence,
                         "clean" => Expectation::Clean,
+                        "crash" => Expectation::Crash,
+                        "hang" => Expectation::Hang,
                         other => {
                             return Err(format!(
-                                "unknown expectation `{other}` (known: divergence, clean)"
+                                "unknown expectation `{other}` \
+                                 (known: divergence, clean, crash, hang)"
                             ))
                         }
                     });
@@ -195,6 +241,101 @@ impl FuzzArgs {
                 return Err(
                     "`--resume` requires `--jobs 1` (checkpoints freeze one campaign)".into(),
                 );
+            }
+        }
+        if args.dut.is_some() {
+            if args.mutant.is_some() {
+                return Err("`--dut` excludes `--mutant`: inject bugs server-side \
+                     (`tf-cli serve --mutant …`) instead"
+                    .into());
+            }
+            if args.jobs != 1 {
+                return Err("`--dut` requires `--jobs 1` (one supervised child)".into());
+            }
+        }
+        Ok(args)
+    }
+}
+
+/// Parsed `tf-cli serve` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeArgs {
+    /// Bug scenario to inject into the served DUT, if any.
+    pub mutant: Option<BugScenario>,
+    /// Served memory size in bytes (must match the client campaign).
+    pub mem: u64,
+    /// Chaos: exit abruptly at this cumulative batch ordinal.
+    pub chaos_crash_after: Option<u64>,
+    /// Chaos: stop answering at this cumulative batch ordinal.
+    pub chaos_hang_after: Option<u64>,
+    /// Chaos: send one corrupt frame at this cumulative batch ordinal.
+    pub chaos_garble_after: Option<u64>,
+    /// `-h`/`--help` was given: print usage instead of serving.
+    pub help: bool,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        ServeArgs {
+            mutant: None,
+            mem: 1 << 20,
+            chaos_crash_after: None,
+            chaos_hang_after: None,
+            chaos_garble_after: None,
+            help: false,
+        }
+    }
+}
+
+impl ServeArgs {
+    /// Parse the arguments following the `serve` subcommand.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown flags, missing or
+    /// unparsable values.
+    pub fn parse(argv: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut args = ServeArgs::default();
+        let mut argv = argv.peekable();
+        while let Some(flag) = argv.next() {
+            let mut value = |name: &str| {
+                argv.next()
+                    .ok_or_else(|| format!("`{name}` requires a value"))
+            };
+            match flag.as_str() {
+                "--mutant" => {
+                    let id = value("--mutant")?;
+                    args.mutant = Some(BugScenario::parse(&id).ok_or_else(|| {
+                        let known: Vec<&str> = BugScenario::ALL.iter().map(|s| s.id()).collect();
+                        format!("unknown mutant `{id}` (known: {})", known.join(", "))
+                    })?);
+                }
+                "--mem" => {
+                    args.mem = parse_int(&value("--mem")?, "--mem")?;
+                    if args.mem == 0 {
+                        return Err("`--mem` must be positive".into());
+                    }
+                }
+                "--chaos-crash-after" => {
+                    args.chaos_crash_after = Some(parse_int(
+                        &value("--chaos-crash-after")?,
+                        "--chaos-crash-after",
+                    )?);
+                }
+                "--chaos-hang-after" => {
+                    args.chaos_hang_after = Some(parse_int(
+                        &value("--chaos-hang-after")?,
+                        "--chaos-hang-after",
+                    )?);
+                }
+                "--chaos-garble-after" => {
+                    args.chaos_garble_after = Some(parse_int(
+                        &value("--chaos-garble-after")?,
+                        "--chaos-garble-after",
+                    )?);
+                }
+                "-h" | "--help" => args.help = true,
+                other => return Err(format!("unknown flag `{other}`")),
             }
         }
         Ok(args)
@@ -409,6 +550,73 @@ mod tests {
         assert!(parse(&["info", "a.tfc", "extra"])
             .unwrap_err()
             .contains("unexpected argument"));
+    }
+
+    #[test]
+    fn dut_flag_parses_and_validates() {
+        let args = parse(&["--dut", "cmd:tf-cli serve --mutant b2"]).unwrap();
+        assert_eq!(
+            args.dut.as_deref(),
+            Some(&["tf-cli", "serve", "--mutant", "b2"].map(String::from)[..])
+        );
+
+        assert!(parse(&["--dut", "tf-cli serve"])
+            .unwrap_err()
+            .contains("cmd:<argv>"));
+        assert!(parse(&["--dut", "cmd:"])
+            .unwrap_err()
+            .contains("needs a command"));
+        assert!(parse(&["--dut", "cmd:x", "--mutant", "b2"])
+            .unwrap_err()
+            .contains("server-side"));
+        assert!(parse(&["--dut", "cmd:x", "--jobs", "2"])
+            .unwrap_err()
+            .contains("--jobs 1"));
+        // --dut composes with persistence and resume.
+        assert!(parse(&["--dut", "cmd:x", "--corpus", "c", "--resume"]).is_ok());
+    }
+
+    #[test]
+    fn crash_and_hang_expectations_parse() {
+        assert_eq!(
+            parse(&["--expect", "crash"]).unwrap().expect,
+            Some(Expectation::Crash)
+        );
+        assert_eq!(
+            parse(&["--expect", "hang"]).unwrap().expect,
+            Some(Expectation::Hang)
+        );
+    }
+
+    #[test]
+    fn serve_args_parse_and_validate() {
+        let parse = |args: &[&str]| ServeArgs::parse(args.iter().map(ToString::to_string));
+        assert_eq!(parse(&[]).unwrap(), ServeArgs::default());
+        let args = parse(&[
+            "--mutant",
+            "b2",
+            "--mem",
+            "65536",
+            "--chaos-crash-after",
+            "3",
+            "--chaos-hang-after",
+            "5",
+            "--chaos-garble-after",
+            "7",
+        ])
+        .unwrap();
+        assert_eq!(args.mutant, Some(BugScenario::B2ReservedRounding));
+        assert_eq!(args.mem, 65536);
+        assert_eq!(args.chaos_crash_after, Some(3));
+        assert_eq!(args.chaos_hang_after, Some(5));
+        assert_eq!(args.chaos_garble_after, Some(7));
+        assert!(parse(&["--help"]).unwrap().help);
+        assert!(parse(&["--mem", "0"]).unwrap_err().contains("positive"));
+        assert!(parse(&["--mutant", "nope"]).unwrap_err().contains("b2"));
+        assert!(parse(&["--chaos-crash-after"])
+            .unwrap_err()
+            .contains("requires a value"));
+        assert!(parse(&["--frob"]).unwrap_err().contains("unknown flag"));
     }
 
     #[test]

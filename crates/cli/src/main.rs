@@ -35,13 +35,17 @@ use tf_fuzz::prelude::*;
 
 mod args;
 
-use args::{CorpusArgs, Expectation, FuzzArgs};
+use args::{CorpusArgs, Expectation, FuzzArgs, ServeArgs};
 
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1);
     match argv.next().as_deref() {
         Some("fuzz") => match FuzzArgs::parse(argv) {
             Ok(args) => run_fuzz(&args),
+            Err(error) => usage_error(&error),
+        },
+        Some("serve") => match ServeArgs::parse(argv) {
+            Ok(args) => run_serve(&args),
             Err(error) => usage_error(&error),
         },
         Some("corpus") => match CorpusArgs::parse(argv) {
@@ -72,18 +76,41 @@ fn verdict(report: &CampaignReport, expect: Option<Expectation>) -> ExitCode {
     match expect {
         None => ExitCode::SUCCESS,
         Some(Expectation::Divergence) if !report.is_clean() => ExitCode::SUCCESS,
-        Some(Expectation::Clean) if report.is_clean() => ExitCode::SUCCESS,
+        Some(Expectation::Clean) if report.is_clean() && report.dut_failures() == 0 => {
+            ExitCode::SUCCESS
+        }
+        Some(Expectation::Crash) if report.dut_crashes > 0 => ExitCode::SUCCESS,
+        Some(Expectation::Hang) if report.dut_hangs > 0 => ExitCode::SUCCESS,
         Some(expected) => {
             eprintln!(
                 "tf-cli: expectation failed: wanted {expected}, campaign reported {}",
-                if report.is_clean() {
-                    "no divergence"
-                } else {
-                    "divergence"
-                }
+                outcome_summary(report)
             );
             ExitCode::from(2)
         }
+    }
+}
+
+/// Human description of what a campaign actually reported, for
+/// expectation-failure messages.
+fn outcome_summary(report: &CampaignReport) -> String {
+    let mut parts = Vec::new();
+    if !report.is_clean() {
+        parts.push("divergence");
+    }
+    if report.dut_crashes > 0 {
+        parts.push("dut crash");
+    }
+    if report.dut_hangs > 0 {
+        parts.push("dut hang");
+    }
+    if report.dut_desyncs > 0 {
+        parts.push("dut desync");
+    }
+    if parts.is_empty() {
+        "clean".to_string()
+    } else {
+        parts.join(" + ")
     }
 }
 
@@ -98,12 +125,18 @@ fn run_fuzz(args: &FuzzArgs) -> ExitCode {
         .with_program_len(args.len)
         .with_window(args.window)
         .with_schedule(args.schedule);
+    // Stderr, not stdout: campaign reports must stay byte-comparable
+    // between an in-process `--mutant` run and a `--dut … serve
+    // --mutant` run, where the banner exists on one side only.
     if let Some(scenario) = args.mutant {
-        println!("injected bug scenario — {scenario}");
+        eprintln!("injected bug scenario — {scenario}");
     }
     match &args.corpus {
         Some(path) => run_fuzz_persistent(args, config, Path::new(path)),
-        None => run_fuzz_ephemeral(args, &config),
+        None => match &args.dut {
+            Some(argv) => run_fuzz_ephemeral_remote(args, config, argv),
+            None => run_fuzz_ephemeral(args, &config),
+        },
     }
 }
 
@@ -112,6 +145,39 @@ fn run_fuzz_ephemeral(args: &FuzzArgs, config: &CampaignConfig) -> ExitCode {
     let sharded = run_sharded_for(config, args.jobs, args.mutant, &[]);
     println!("{sharded}");
     verdict(&sharded.merged, args.expect)
+}
+
+/// Ephemeral campaign against an out-of-process DUT. Runs a plain
+/// (unsharded) [`Campaign`] so stdout carries only the deterministic
+/// report — [`ShardedReport`] prints wall-clock throughput, which would
+/// break byte-for-byte report comparison.
+fn run_fuzz_ephemeral_remote(args: &FuzzArgs, config: CampaignConfig, argv: &[String]) -> ExitCode {
+    let mut supervisor = match DutSupervisor::spawn(argv.to_vec(), SupervisorConfig::default(), 0) {
+        Ok(supervisor) => supervisor,
+        Err(error) => return fail(&error.to_string()),
+    };
+    let steps = args.steps;
+    let report = Campaign::new(config).run(&mut supervisor);
+    println!("{report}");
+    remote_epilogue(&supervisor, &report, steps);
+    verdict(&report, args.expect)
+}
+
+/// Stderr bookkeeping after a remote campaign: lineage statistics, and
+/// a loud note when the respawn budget ran out mid-campaign.
+fn remote_epilogue(supervisor: &DutSupervisor, report: &CampaignReport, steps: u64) {
+    eprintln!(
+        "remote dut: {} batch(es) issued, {} respawn(s)",
+        supervisor.batches_issued(),
+        supervisor.respawns()
+    );
+    if supervisor.is_dead() {
+        eprintln!(
+            "remote dut: respawn budget exhausted after {} of {} instructions — \
+             campaign ended early (findings above are still valid)",
+            report.instructions_generated, steps
+        );
+    }
 }
 
 fn run_sharded_for(
@@ -194,14 +260,36 @@ fn run_fuzz_persistent(args: &FuzzArgs, config: CampaignConfig, path: &Path) -> 
 
     // Single campaign: checkpointable, resumable.
     let mem_size = config.mem_size;
+    // A resumed remote campaign re-bases the child's cumulative batch
+    // counter so server-side chaos schedules do not re-fire — the
+    // checkpoint carries the supervisor's issued-batch count.
+    let remote_offset = if args.resume {
+        loaded
+            .as_ref()
+            .and_then(|l| l.checkpoint.as_ref())
+            .and_then(|c| c.remote_batches)
+            .unwrap_or(0)
+    } else {
+        0
+    };
+    let mut supervisor = match &args.dut {
+        Some(argv) => {
+            match DutSupervisor::spawn(argv.clone(), SupervisorConfig::default(), remote_offset) {
+                Ok(supervisor) => Some(supervisor),
+                Err(error) => return fail(&error.to_string()),
+            }
+        }
+        None => None,
+    };
     let mut golden;
     let mut mutant_hart;
-    let dut: &mut dyn Dut = match args.mutant {
-        None => {
+    let dut: &mut dyn Dut = match (&mut supervisor, args.mutant) {
+        (Some(supervisor), _) => supervisor,
+        (None, None) => {
             golden = Hart::new(mem_size);
             &mut golden
         }
-        Some(scenario) => {
+        (None, Some(scenario)) => {
             mutant_hart = MutantHart::new(mem_size, scenario);
             &mut mutant_hart
         }
@@ -265,7 +353,11 @@ fn run_fuzz_persistent(args: &FuzzArgs, config: CampaignConfig, path: &Path) -> 
     // The report comes first: a failing save must not swallow what the
     // (completed) campaign observed.
     println!("{report}");
-    let checkpoint = campaign.checkpoint(&report);
+    let mut checkpoint = campaign.checkpoint(&report);
+    if let Some(supervisor) = &supervisor {
+        checkpoint.remote_batches = Some(supervisor.batches_issued());
+        remote_epilogue(supervisor, &report, args.steps);
+    }
     if let Err(error) = persist::save_campaign(path, campaign.corpus().entries(), &checkpoint) {
         return fail(&format!("saving corpus: {error}"));
     }
@@ -275,6 +367,46 @@ fn run_fuzz_persistent(args: &FuzzArgs, config: CampaignConfig, path: &Path) -> 
         path.display()
     );
     verdict(&report, args.expect)
+}
+
+/// Distinctive exit status for a scheduled chaos crash, so supervisor
+/// crash findings carry a recognisable, deterministic cause string.
+const CHAOS_CRASH_EXIT: u8 = 117;
+
+/// `tf-cli serve`: speak the remote-DUT protocol over stdin/stdout.
+/// Stdout carries protocol frames only; all diagnostics go to stderr.
+fn run_serve(args: &ServeArgs) -> ExitCode {
+    if args.help {
+        println!("{}", args::USAGE);
+        return ExitCode::SUCCESS;
+    }
+    let chaos = ChaosConfig {
+        crash_after: args.chaos_crash_after,
+        hang_after: args.chaos_hang_after,
+        garble_after: args.chaos_garble_after,
+    };
+    let mem_size = args.mem;
+    let mut golden;
+    let mut mutant_hart;
+    let dut: &mut dyn Dut = match args.mutant {
+        None => {
+            golden = Hart::new(mem_size);
+            &mut golden
+        }
+        Some(scenario) => {
+            mutant_hart = MutantHart::new(mem_size, scenario);
+            &mut mutant_hart
+        }
+    };
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut input = stdin.lock();
+    let mut output = stdout.lock();
+    match serve(dut, &chaos, &mut input, &mut output) {
+        Ok(ServeOutcome::ChaosCrash) => ExitCode::from(CHAOS_CRASH_EXIT),
+        Ok(_) => ExitCode::SUCCESS,
+        Err(error) => fail(&error.to_string()),
+    }
 }
 
 fn run_corpus(args: &CorpusArgs) -> ExitCode {

@@ -1,0 +1,355 @@
+//! End-to-end out-of-process DUT tests against the real `tf-cli`
+//! binary: clean subprocess backends must be report-identical to
+//! in-process harts, and every deterministic chaos mode must surface as
+//! the right finding while the campaign survives, respawns and stays
+//! bit-deterministic — including across checkpoint/resume.
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::Duration;
+
+use tf_fuzz::prelude::*;
+
+const MEM: u64 = 1 << 16;
+
+fn exe() -> String {
+    env!("CARGO_BIN_EXE_tf-cli").to_string()
+}
+
+fn serve_argv(extra: &[&str]) -> Vec<String> {
+    let mut argv = vec![exe(), "serve".into(), "--mem".into(), MEM.to_string()];
+    argv.extend(extra.iter().map(ToString::to_string));
+    argv
+}
+
+fn config(seed: u64, budget: u64) -> CampaignConfig {
+    CampaignConfig::default()
+        .with_seed(seed)
+        .with_instruction_budget(budget)
+        .with_mem_size(MEM)
+}
+
+fn spawn(extra: &[&str], supervisor: SupervisorConfig, offset: u64) -> DutSupervisor {
+    DutSupervisor::spawn(serve_argv(extra), supervisor, offset).expect("serve child comes up")
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tf-remote-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// A clean subprocess backend is indistinguishable from the in-process
+/// hart: whole campaign reports (counters, divergences, DUT name,
+/// rendered text) are equal — for the golden hart and a planted mutant.
+#[test]
+fn remote_clean_backend_matches_in_process_reports() {
+    let budget = 2_000;
+
+    let mut golden = Hart::new(MEM);
+    let want = Campaign::new(config(5, budget)).run(&mut golden);
+    let mut remote = spawn(&[], SupervisorConfig::default(), 0);
+    let got = Campaign::new(config(5, budget)).run(&mut remote);
+    assert_eq!(got, want, "golden hart over the wire must match exactly");
+    assert_eq!(got.to_string(), want.to_string());
+    assert_eq!(remote.respawns(), 0);
+
+    let mut mutant = MutantHart::new(MEM, BugScenario::B2ReservedRounding);
+    let want = Campaign::new(config(5, budget)).run(&mut mutant);
+    assert!(!want.is_clean(), "the mutant must actually diverge");
+    let mut remote = spawn(&["--mutant", "b2"], SupervisorConfig::default(), 0);
+    let got = Campaign::new(config(5, budget)).run(&mut remote);
+    assert_eq!(got, want, "mutant divergences over the wire must match");
+    assert_eq!(got.dut, "mutant-b2", "server name passes through");
+}
+
+/// A scheduled child crash becomes exactly one crash finding with the
+/// distinctive exit code, the supervisor respawns once, the campaign
+/// runs to its full budget — and the whole report is bit-deterministic
+/// across runs.
+#[test]
+fn chaos_crash_yields_a_finding_and_the_campaign_survives() {
+    let run = || {
+        let mut remote = spawn(
+            &["--chaos-crash-after", "2"],
+            SupervisorConfig::default(),
+            0,
+        );
+        let report = Campaign::new(config(9, 2_000)).run(&mut remote);
+        (report, remote.respawns(), remote.is_dead())
+    };
+    let (report, respawns, dead) = run();
+    assert_eq!(report.dut_crashes, 1);
+    assert_eq!(report.dut_hangs + report.dut_desyncs, 0);
+    assert_eq!(respawns, 1);
+    assert!(!dead);
+    assert!(
+        report.instructions_generated >= 2_000,
+        "the campaign must run to its budget despite the crash"
+    );
+    let finding = &report.findings[0];
+    assert_eq!(finding.kind, FindingKind::DutCrash);
+    assert!(
+        finding.cause.contains("exited with code 117"),
+        "cause was: {}",
+        finding.cause
+    );
+    assert!(
+        !finding.program.is_empty(),
+        "the offending program is captured"
+    );
+
+    let (again, respawns_again, _) = run();
+    assert_eq!(again, report, "chaos campaigns are bit-deterministic");
+    assert_eq!(again.to_string(), report.to_string());
+    assert_eq!(respawns_again, respawns);
+}
+
+/// A wedged child misses the supervisor deadline, is killed, and
+/// surfaces as a hang finding with the deadline in the cause.
+#[test]
+fn chaos_hang_is_detected_by_the_deadline() {
+    let supervisor_config = SupervisorConfig {
+        deadline: Duration::from_millis(250),
+        ..SupervisorConfig::default()
+    };
+    let mut remote = spawn(&["--chaos-hang-after", "1"], supervisor_config, 0);
+    let report = Campaign::new(config(9, 1_500)).run(&mut remote);
+    assert_eq!(report.dut_hangs, 1);
+    assert_eq!(report.dut_crashes + report.dut_desyncs, 0);
+    assert_eq!(remote.respawns(), 1);
+    let finding = &report.findings[0];
+    assert_eq!(finding.kind, FindingKind::DutHang);
+    assert!(
+        finding.cause.contains("no response within 250ms"),
+        "cause was: {}",
+        finding.cause
+    );
+    assert!(report.instructions_generated >= 1_500);
+}
+
+/// A corrupted frame is a desync finding: the stream is torn down and a
+/// fresh child re-seeded.
+#[test]
+fn chaos_garble_is_detected_as_a_desync() {
+    let mut remote = spawn(
+        &["--chaos-garble-after", "1"],
+        SupervisorConfig::default(),
+        0,
+    );
+    let report = Campaign::new(config(9, 1_500)).run(&mut remote);
+    assert_eq!(report.dut_desyncs, 1);
+    assert_eq!(report.dut_crashes + report.dut_hangs, 0);
+    assert_eq!(remote.respawns(), 1);
+    let finding = &report.findings[0];
+    assert_eq!(finding.kind, FindingKind::DutDesync);
+    assert!(
+        finding.cause.contains("payload checksum mismatch"),
+        "cause was: {}",
+        finding.cause
+    );
+    assert!(report.instructions_generated >= 1_500);
+}
+
+/// With the respawn budget exhausted the supervisor goes permanently
+/// inert and the campaign ends early — with the finding recorded and no
+/// panic, hang or invented verdicts.
+#[test]
+fn respawn_budget_exhaustion_degrades_gracefully() {
+    let supervisor_config = SupervisorConfig {
+        max_consecutive_failures: 1,
+        ..SupervisorConfig::default()
+    };
+    let mut remote = spawn(&["--chaos-crash-after", "0"], supervisor_config, 0);
+    let report = Campaign::new(config(9, 2_000)).run(&mut remote);
+    assert_eq!(report.dut_crashes, 1);
+    assert!(remote.is_dead());
+    assert_eq!(remote.respawns(), 0);
+    assert!(
+        report.instructions_generated < 2_000,
+        "a dead supervisor must stop the campaign, not spin on it"
+    );
+    assert!(report.divergences.is_empty(), "no invented divergences");
+}
+
+/// The issued-batch offset keeps chaos schedules aligned across
+/// checkpoint/resume: an interrupted-and-resumed campaign reproduces
+/// the uninterrupted run bit for bit, with the chaos fault firing
+/// exactly once at the same cumulative ordinal.
+#[test]
+fn resume_keeps_the_chaos_schedule_aligned() {
+    let budget = 2_000;
+
+    // Probe run (no chaos) to learn the batch count, then schedule the
+    // crash inside the second half of the campaign.
+    let mut probe = spawn(&[], SupervisorConfig::default(), 0);
+    let _ = Campaign::new(config(13, budget)).run(&mut probe);
+    let total_batches = probe.batches_issued();
+    drop(probe);
+    assert!(total_batches > 8, "campaign too small to split");
+    let ordinal = (3 * total_batches / 4).to_string();
+    let chaos: &[&str] = &["--chaos-crash-after", &ordinal];
+
+    // Uninterrupted run with the chaos schedule.
+    let mut remote = spawn(chaos, SupervisorConfig::default(), 0);
+    let mut uninterrupted = Campaign::new(config(13, budget));
+    let want = uninterrupted.run(&mut remote);
+    assert_eq!(want.dut_crashes, 1, "the fault must fire in-budget");
+    drop(remote);
+
+    // The same campaign interrupted at half budget…
+    let mut remote = spawn(chaos, SupervisorConfig::default(), 0);
+    let mut first = Campaign::new(config(13, budget / 2));
+    let half_report = first.run(&mut remote);
+    let mut checkpoint = first.checkpoint(&half_report);
+    checkpoint.remote_batches = Some(remote.batches_issued());
+    drop(remote);
+
+    // …thawed through the file and resumed against a *fresh* child
+    // spawned at the recorded offset.
+    let path = temp_path("chaos-resume.tfc");
+    persist::save_campaign(&path, first.corpus().entries(), &checkpoint).unwrap();
+    let loaded = persist::load_file(&path).unwrap();
+    let checkpoint = loaded.checkpoint.expect("checkpoint was saved");
+    let offset = checkpoint.remote_batches.expect("remote offset was saved");
+    let mut remote = spawn(chaos, SupervisorConfig::default(), offset);
+    let mut second = Campaign::restore(config(13, budget), &checkpoint, &loaded.entries).unwrap();
+    let got = second.resume(&mut remote, checkpoint.report.clone());
+
+    assert_eq!(got, want, "resumed chaos campaign must be bit-identical");
+    assert_eq!(got.to_string(), want.to_string());
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// The CLI surface end to end: `--dut cmd:…` with `--expect crash`
+/// exits zero on a crash finding, stdout is byte-identical across runs,
+/// and a failed expectation exits 2 with a clear message.
+#[test]
+fn cli_expectations_and_stdout_determinism() {
+    let dut_spec = format!("cmd:{} serve --chaos-crash-after 1 --mem 1048576", exe());
+    let fuzz = |expect: &str| {
+        Command::new(exe())
+            .args([
+                "fuzz", "--seed", "4", "--steps", "1500", "--dut", &dut_spec, "--expect", expect,
+            ])
+            .output()
+            .unwrap()
+    };
+
+    let first = fuzz("crash");
+    assert!(
+        first.status.success(),
+        "--expect crash should pass: {}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    let report = String::from_utf8_lossy(&first.stdout);
+    assert!(report.contains("dut crash"), "stdout was: {report}");
+
+    let second = fuzz("crash");
+    assert_eq!(
+        first.stdout, second.stdout,
+        "chaos campaign stdout must be byte-identical across runs"
+    );
+
+    let failed = fuzz("hang");
+    assert_eq!(failed.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&failed.stderr).contains("expectation failed"),
+        "stderr was: {}",
+        String::from_utf8_lossy(&failed.stderr)
+    );
+
+    // A clean remote backend passes --expect clean; the crash campaign
+    // above must NOT (clean also demands zero dut failures).
+    let clean_spec = format!("cmd:{} serve --mem 1048576", exe());
+    let clean = Command::new(exe())
+        .args([
+            "fuzz",
+            "--seed",
+            "4",
+            "--steps",
+            "1500",
+            "--dut",
+            &clean_spec,
+            "--expect",
+            "clean",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        clean.status.success(),
+        "clean remote backend should pass --expect clean: {}",
+        String::from_utf8_lossy(&clean.stderr)
+    );
+    let not_clean = fuzz("clean");
+    assert_eq!(
+        not_clean.status.code(),
+        Some(2),
+        "a campaign with crash findings is not clean"
+    );
+}
+
+/// A spawn that cannot work fails with a clear nonzero-exit message,
+/// not a panic.
+#[test]
+fn cli_spawn_failure_is_a_clean_error() {
+    let output = Command::new(exe())
+        .args([
+            "fuzz",
+            "--steps",
+            "100",
+            "--dut",
+            "cmd:/nonexistent/tf-dut-binary",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("failed to spawn"), "stderr was: {stderr}");
+    assert!(!stderr.contains("panicked"), "stderr was: {stderr}");
+}
+
+/// `--resume` through the CLI with chaos findings: the resumed stdout
+/// equals the uninterrupted run's stdout byte for byte.
+#[test]
+fn cli_resume_with_chaos_findings_is_byte_identical() {
+    let dut_spec = format!("cmd:{} serve --chaos-crash-after 3 --mem 1048576", exe());
+    let corpus_a = temp_path("cli-chaos-a.tfc");
+    let corpus_b = temp_path("cli-chaos-b.tfc");
+    let fuzz = |steps: &str, corpus: &PathBuf, resume: bool| {
+        let mut cmd = Command::new(exe());
+        cmd.args(["fuzz", "--seed", "6", "--steps", steps, "--dut", &dut_spec])
+            .args(["--corpus", corpus.to_str().unwrap()]);
+        if resume {
+            cmd.arg("--resume");
+        }
+        cmd.output().unwrap()
+    };
+
+    let uninterrupted = fuzz("3000", &corpus_a, false);
+    assert!(
+        uninterrupted.status.success(),
+        "{}",
+        String::from_utf8_lossy(&uninterrupted.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&uninterrupted.stdout).contains("dut crash"),
+        "the fault must fire inside the first half"
+    );
+
+    let half = fuzz("1500", &corpus_b, false);
+    assert!(half.status.success());
+    let resumed = fuzz("3000", &corpus_b, true);
+    assert!(
+        resumed.status.success(),
+        "{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(
+        uninterrupted.stdout, resumed.stdout,
+        "resumed chaos campaign stdout must be byte-identical"
+    );
+
+    std::fs::remove_file(&corpus_a).unwrap();
+    std::fs::remove_file(&corpus_b).unwrap();
+}

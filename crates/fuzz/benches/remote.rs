@@ -1,0 +1,139 @@
+//! Remote-DUT boundary throughput: batched steps/sec through a real
+//! `tf-cli serve` subprocess versus the same hart in-process, plus the
+//! step-at-a-time RPC floor that motivates the batch-oriented protocol.
+//!
+//! Requires `target/release/tf-cli` (built by `cargo build --release`);
+//! when the binary is missing the bench prints a notice and exits
+//! cleanly so `cargo bench` still completes.
+//!
+//! Results merge into `BENCH_arch.json` (see `json.rs`); smoke mode via
+//! `TF_BENCH_SMOKE=1`.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use tf_arch::{Dut, Hart};
+use tf_fuzz::{DutSupervisor, ProgramGenerator, SupervisorConfig};
+use tf_riscv::{Instruction, InstructionLibrary, LibraryConfig};
+
+#[path = "../../arch/benches/json.rs"]
+mod json;
+
+const MEM: u64 = 1 << 16;
+
+/// Find the release `tf-cli` next to this bench binary
+/// (`target/release/deps/remote-…` → `target/release/tf-cli`).
+fn tf_cli() -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    exe.ancestors()
+        .map(|dir| dir.join("tf-cli"))
+        .find(|candidate| candidate.is_file())
+}
+
+fn programs(count: usize) -> Vec<Vec<Instruction>> {
+    let library = InstructionLibrary::new(LibraryConfig::all(), 42);
+    let mut generator = ProgramGenerator::new(library, 42);
+    (0..count).map(|_| generator.generate(30)).collect()
+}
+
+/// One campaign-shaped rep: reset, load, run the batch to completion.
+/// Returns retired steps.
+fn batch_rep(dut: &mut dyn Dut, program: &[Instruction]) -> u64 {
+    dut.reset();
+    if dut.load(0, program).is_err() {
+        return 0;
+    }
+    dut.run(4096, 16).steps
+}
+
+/// The same work over per-step RPC — what the protocol deliberately
+/// avoids in the hot loop.
+fn step_rep(dut: &mut dyn Dut, program: &[Instruction]) -> u64 {
+    dut.reset();
+    if dut.load(0, program).is_err() {
+        return 0;
+    }
+    let mut steps = 0;
+    for _ in 0..4096 {
+        steps += 1;
+        if matches!(dut.step(), tf_arch::StepOutcome::Trapped(_)) {
+            break;
+        }
+    }
+    steps
+}
+
+fn steps_per_sec(
+    dut: &mut dyn Dut,
+    programs: &[Vec<Instruction>],
+    reps: usize,
+    rep: fn(&mut dyn Dut, &[Instruction]) -> u64,
+) -> f64 {
+    // Warm-up pass so spawn and first-touch costs stay out of the clock.
+    let mut steps = 0u64;
+    for program in programs {
+        steps += rep(dut, program);
+    }
+    assert!(steps > 0, "benchmark programs must execute");
+    let start = Instant::now();
+    let mut steps = 0u64;
+    for _ in 0..reps {
+        for program in programs {
+            steps += rep(dut, program);
+        }
+    }
+    steps as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let smoke = json::smoke();
+    let programs = programs(if smoke { 4 } else { 32 });
+    let batch_reps = if smoke { 2 } else { 200 };
+    let step_reps = if smoke { 1 } else { 20 };
+
+    let Some(cli) = tf_cli() else {
+        println!("remote bench skipped: tf-cli binary not found (run `cargo build --release`)");
+        return;
+    };
+    let argv = vec![
+        cli.to_string_lossy().into_owned(),
+        "serve".into(),
+        "--mem".into(),
+        MEM.to_string(),
+    ];
+
+    let mut hart = Hart::new(MEM);
+    let inproc = steps_per_sec(&mut hart, &programs, batch_reps, batch_rep);
+    println!("in-process batched:  {inproc:>12.0} steps/sec");
+
+    let mut remote = DutSupervisor::spawn(argv.clone(), SupervisorConfig::default(), 0)
+        .expect("serve child comes up");
+    let batched = steps_per_sec(&mut remote, &programs, batch_reps, batch_rep);
+    println!("subprocess batched:  {batched:>12.0} steps/sec");
+    assert_eq!(remote.respawns(), 0, "bench child must not crash");
+    drop(remote);
+
+    let mut remote =
+        DutSupervisor::spawn(argv, SupervisorConfig::default(), 0).expect("serve child comes up");
+    let step_rpc = steps_per_sec(&mut remote, &programs, step_reps, step_rep);
+    println!("subprocess per-step: {step_rpc:>12.0} steps/sec");
+    drop(remote);
+
+    println!(
+        "boundary cost: batched {:.1}x slower than in-process; \
+         per-step RPC {:.1}x slower than batched",
+        inproc / batched,
+        batched / step_rpc
+    );
+
+    if !smoke {
+        json::update(
+            &[
+                ("remote_inproc_steps_per_sec", inproc),
+                ("remote_batch_steps_per_sec", batched),
+                ("remote_step_rpc_steps_per_sec", step_rpc),
+            ],
+            &[],
+        );
+    }
+}

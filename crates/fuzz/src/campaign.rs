@@ -12,7 +12,7 @@
 use std::collections::HashSet;
 
 use tf_arch::digest::Fnv;
-use tf_arch::{Dut, Hart, RunExit};
+use tf_arch::{Dut, DutFailure, DutFailureKind, Hart, RunExit};
 use tf_riscv::{Extension, Format, InstructionLibrary, LibraryConfig};
 
 use crate::corpus::{minimize, Corpus, SeedCalibration, SeedEntry};
@@ -232,6 +232,95 @@ impl std::fmt::Display for RestoreError {
 
 impl std::error::Error for RestoreError {}
 
+/// The kind of DUT-robustness finding a campaign recorded — the
+/// campaign-level view of a [`DutFailureKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FindingKind {
+    /// The DUT child process died while executing the program.
+    DutCrash,
+    /// The DUT missed its per-batch wall-clock deadline.
+    DutHang,
+    /// The DUT sent garbage over its protocol stream.
+    DutDesync,
+}
+
+impl From<DutFailureKind> for FindingKind {
+    fn from(kind: DutFailureKind) -> Self {
+        match kind {
+            DutFailureKind::Crash => FindingKind::DutCrash,
+            DutFailureKind::Hang => FindingKind::DutHang,
+            DutFailureKind::Desync => FindingKind::DutDesync,
+        }
+    }
+}
+
+impl std::fmt::Display for FindingKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FindingKind::DutCrash => "dut crash",
+            FindingKind::DutHang => "dut hang",
+            FindingKind::DutDesync => "dut desync",
+        })
+    }
+}
+
+/// A recorded DUT-robustness finding: the program whose differential run
+/// made an out-of-process backend crash, hang or desync. Findings sit
+/// alongside [`Divergence`]s in the [`CampaignReport`] — they are
+/// first-class campaign outcomes, not aborts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// How the DUT failed.
+    pub kind: FindingKind,
+    /// Deterministic failure cause ("exited with code 117", …).
+    pub cause: String,
+    /// The program whose run surfaced the failure.
+    pub program: Vec<tf_riscv::Instruction>,
+    /// The campaign's program ordinal (1-based) at the failure.
+    pub at_batch: u64,
+    /// How many times this exact `(program, cause)` failure was seen —
+    /// repeats bump this counter instead of flooding the report.
+    pub repeats: u64,
+}
+
+impl Finding {
+    /// Deduplication key: the failure kind and cause plus the digest of
+    /// the offending program. A wedged child failing the same way on the
+    /// same program collapses into one finding with a repeat count.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut fnv = Fnv::new();
+        fnv.write_u64(match self.kind {
+            FindingKind::DutCrash => 0,
+            FindingKind::DutHang => 1,
+            FindingKind::DutDesync => 2,
+        });
+        fnv.write_bytes(self.cause.as_bytes());
+        for insn in &self.program {
+            fnv.write_u64(u64::from(insn.encode_lossy()));
+        }
+        fnv.finish()
+    }
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} at batch {}: {}",
+            self.kind, self.at_batch, self.cause
+        )?;
+        if self.repeats > 1 {
+            write!(f, " (x{})", self.repeats)?;
+        }
+        write!(f, "\n  program ({} instructions):", self.program.len())?;
+        for insn in &self.program {
+            write!(f, "\n    {insn}")?;
+        }
+        Ok(())
+    }
+}
+
 /// What a finished campaign observed.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CampaignReport {
@@ -266,13 +355,65 @@ pub struct CampaignReport {
     /// Minimized divergence reports (the first 16; beyond that only
     /// [`CampaignReport::divergent_runs`] grows).
     pub divergences: Vec<Divergence>,
+    /// DUT child-process crashes observed (out-of-process backends only).
+    pub dut_crashes: u64,
+    /// DUT per-batch deadline misses observed.
+    pub dut_hangs: u64,
+    /// DUT protocol desyncs (garbled frames) observed.
+    pub dut_desyncs: u64,
+    /// Recorded robustness findings, deduplicated by
+    /// [`Finding::fingerprint`] and capped at the usual report limit
+    /// (the counters above still count everything).
+    pub findings: Vec<Finding>,
 }
 
 impl CampaignReport {
-    /// True when no divergence was observed.
+    /// True when no divergence was observed. DUT robustness findings are
+    /// tracked separately — see [`CampaignReport::dut_failures`].
     #[must_use]
     pub fn is_clean(&self) -> bool {
         self.divergent_runs == 0
+    }
+
+    /// Total DUT failures of any kind (crashes + hangs + desyncs).
+    #[must_use]
+    pub fn dut_failures(&self) -> u64 {
+        self.dut_crashes + self.dut_hangs + self.dut_desyncs
+    }
+
+    /// Record one DUT failure against the program that triggered it:
+    /// bump the matching counter and either fold the failure into an
+    /// existing finding with the same [`Finding::fingerprint`] (bumping
+    /// its repeat count) or append a new finding while under the report
+    /// cap.
+    pub fn record_failure(
+        &mut self,
+        failure: &DutFailure,
+        program: &[tf_riscv::Instruction],
+        at_batch: u64,
+    ) {
+        match failure.kind {
+            DutFailureKind::Crash => self.dut_crashes += 1,
+            DutFailureKind::Hang => self.dut_hangs += 1,
+            DutFailureKind::Desync => self.dut_desyncs += 1,
+        }
+        let finding = Finding {
+            kind: failure.kind.into(),
+            cause: failure.detail.clone(),
+            program: program.to_vec(),
+            at_batch,
+            repeats: 1,
+        };
+        let fingerprint = finding.fingerprint();
+        if let Some(known) = self
+            .findings
+            .iter_mut()
+            .find(|f| f.fingerprint() == fingerprint)
+        {
+            known.repeats += 1;
+        } else if self.findings.len() < MAX_REPORTS {
+            self.findings.push(finding);
+        }
     }
 
     /// Fold another report into this one: counters add, DUT names join,
@@ -329,6 +470,25 @@ impl CampaignReport {
                 self.divergences.push(divergence.clone());
             }
         }
+        self.dut_crashes += other.dut_crashes;
+        self.dut_hangs += other.dut_hangs;
+        self.dut_desyncs += other.dut_desyncs;
+        // Findings dedup by `(program digest, cause)` with repeat counts
+        // accumulating, mirroring the divergence min-merge above.
+        for finding in &other.findings {
+            let fingerprint = finding.fingerprint();
+            if let Some(mine) = self
+                .findings
+                .iter_mut()
+                .find(|f| f.fingerprint() == fingerprint)
+            {
+                mine.repeats += finding.repeats;
+                // Earliest sighting wins, keeping the merge associative.
+                mine.at_batch = mine.at_batch.min(finding.at_batch);
+            } else if self.findings.len() < MAX_REPORTS {
+                self.findings.push(finding.clone());
+            }
+        }
     }
 }
 
@@ -356,6 +516,18 @@ impl std::fmt::Display for CampaignReport {
             write!(f, "  divergences: {} divergent runs", self.divergent_runs)?;
             for divergence in &self.divergences {
                 write!(f, "\n{divergence}")?;
+            }
+        }
+        // The robustness section only appears when an out-of-process DUT
+        // actually failed, so in-process report text stays byte-stable.
+        if self.dut_failures() > 0 {
+            write!(
+                f,
+                "\n  dut failures: {} crashes, {} hangs, {} desyncs",
+                self.dut_crashes, self.dut_hangs, self.dut_desyncs
+            )?;
+            for finding in &self.findings {
+                write!(f, "\n{finding}")?;
             }
         }
         Ok(())
@@ -468,6 +640,10 @@ impl Campaign {
             generator_rng,
             library_rng,
             coverage: self.coverage.clone(),
+            // The campaign cannot see through the `Dut` trait to a
+            // supervisor's issued-batch counter; drivers holding the
+            // concrete supervisor fill this in before persisting.
+            remote_batches: None,
         }
     }
 
@@ -572,7 +748,21 @@ impl Campaign {
             };
             report.programs += 1;
             report.instructions_generated += self.program_buf.len() as u64;
-            match engine.diff_with(&mut reference, dut, &self.program_buf, &mut self.scratch) {
+            let verdict =
+                engine.diff_with(&mut reference, dut, &self.program_buf, &mut self.scratch);
+            // A DUT failure mid-run poisons the verdict (the failing
+            // backend answered with inert placeholders): discard it,
+            // record the finding, and either keep fuzzing on the
+            // respawned child or stop gracefully when the supervisor's
+            // respawn budget is spent.
+            if let Some(failure) = dut.take_failure() {
+                report.record_failure(&failure, &self.program_buf, report.programs);
+                if failure.can_continue {
+                    continue;
+                }
+                break;
+            }
+            match verdict {
                 Err(_) => {
                     // Unloadable program (cannot happen with in-range
                     // generator output, but mutation keeps the door open).
@@ -626,7 +816,20 @@ impl Campaign {
                     }
                     if report.divergences.len() < MAX_REPORTS {
                         let minimized = self.reproduce(&mut reference, dut, &self.program_buf);
-                        report.divergences.push(minimized.unwrap_or(divergence));
+                        // A failure during minimization invalidates the
+                        // shrunken reproducer; keep the original
+                        // divergence and record the failure as usual.
+                        let failed = dut.take_failure();
+                        report.divergences.push(match &failed {
+                            None => minimized.unwrap_or(divergence),
+                            Some(_) => divergence,
+                        });
+                        if let Some(failure) = failed {
+                            report.record_failure(&failure, &self.program_buf, report.programs);
+                            if !failure.can_continue {
+                                break;
+                            }
+                        }
                     }
                 }
             }

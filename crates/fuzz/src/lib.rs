@@ -42,6 +42,13 @@
 //!   are the high-level doors; together they make campaigns resumable
 //!   (`tf-cli fuzz --corpus C --resume` is bit-identical to an
 //!   uninterrupted run) and corpora shareable between runs.
+//! * [`proto`] / [`remote`] / [`mod@serve`] — the out-of-process DUT
+//!   boundary: a versioned, length-prefixed wire protocol over
+//!   stdin/stdout, the fault-tolerant [`DutSupervisor`] client
+//!   (per-batch deadline, bounded respawn with exponential backoff,
+//!   crash/hang/desync surfaced as campaign [`Finding`]s) and the
+//!   server loop behind `tf-cli serve`, whose deterministic chaos
+//!   injection makes the whole failure path hermetically testable.
 //!
 //! # Example
 //!
@@ -77,18 +84,23 @@ mod coverage;
 mod diff;
 mod generator;
 pub mod persist;
+pub mod proto;
+pub mod remote;
 mod rng;
 mod schedule;
+pub mod serve;
 mod shard;
 
-pub use campaign::{Campaign, CampaignConfig, CampaignReport, RestoreError};
+pub use campaign::{Campaign, CampaignConfig, CampaignReport, Finding, FindingKind, RestoreError};
 pub use corpus::{minimize, Corpus, SeedCalibration, SeedEntry};
 pub use coverage::CoverageMap;
 pub use diff::{
     ConfigError, DiffConfig, DiffEngine, DiffScratch, DiffVerdict, Divergence, DEFAULT_WINDOW,
 };
 pub use generator::{GeneratorConfig, ProgramGenerator};
+pub use remote::{DutSupervisor, SpawnError, SupervisorConfig};
 pub use schedule::{PowerSchedule, MAX_ENERGY};
+pub use serve::{serve, ChaosConfig, ServeOutcome};
 pub use shard::{
     run_sharded, run_sharded_seeded, shard_config, worker_seed, ShardedReport, WorkerReport,
 };
@@ -116,10 +128,14 @@ pub mod prelude {
 
     pub use crate::persist::{self, LoadReport, LoadedFile, PersistError};
     pub use crate::{
-        minimize, run_sharded, run_sharded_seeded, shard_config, worker_seed, Campaign,
-        CampaignConfig, CampaignReport, ConfigError, Corpus, CoverageMap, DiffConfig, DiffEngine,
-        DiffScratch, DiffVerdict, Divergence, PowerSchedule, RestoreError, SeedCalibration,
-        SeedEntry, ShardedReport, WorkerReport, DEFAULT_WINDOW,
+        minimize, run_sharded, run_sharded_seeded, serve, shard_config, worker_seed, Campaign,
+        CampaignConfig, CampaignReport, ChaosConfig, ConfigError, Corpus, CoverageMap, DiffConfig,
+        DiffEngine, DiffScratch, DiffVerdict, Divergence, DutSupervisor, Finding, FindingKind,
+        PowerSchedule, RestoreError, SeedCalibration, SeedEntry, ServeOutcome, ShardedReport,
+        SpawnError, SupervisorConfig, WorkerReport, DEFAULT_WINDOW,
     };
-    pub use tf_arch::{fold_sample, BatchOutcome, BugScenario, Dut, Hart, MutantHart, RunExit};
+    pub use tf_arch::{
+        fold_sample, BatchOutcome, BugScenario, Dut, DutFailure, DutFailureKind, Hart, MutantHart,
+        RunExit,
+    };
 }

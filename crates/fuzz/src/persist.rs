@@ -48,7 +48,7 @@ use tf_arch::{StepOutcome, TraceEntry, Trap};
 use tf_riscv::csr::Cause;
 use tf_riscv::{Fpr, Gpr, Instruction, Reg};
 
-use crate::campaign::CampaignReport;
+use crate::campaign::{CampaignReport, Finding, FindingKind};
 use crate::corpus::{SeedCalibration, SeedEntry};
 use crate::coverage::CoverageMap;
 use crate::diff::Divergence;
@@ -74,7 +74,15 @@ pub const MAGIC: [u8; 8] = *b"TFCORPUS";
 /// rejected outright — replaying it with zeroed calibration would give
 /// power schedules a silently different energy landscape than the run
 /// that wrote it.
-pub const FORMAT_VERSION: u32 = 3;
+///
+/// Version 4 adds out-of-process DUT robustness state to checkpoints:
+/// the crash/hang/desync counters, the recorded
+/// [`Finding`]s (cause, offending program, batch
+/// ordinal, repeat count) and the supervisor's issued-batch counter
+/// ([`CampaignCheckpoint::remote_batches`]), so `--resume` against a
+/// respawned external DUT — chaos schedules included — stays
+/// bit-identical to an uninterrupted run.
+pub const FORMAT_VERSION: u32 = 4;
 
 /// Record tag for one corpus seed entry.
 pub const TAG_SEED: u8 = 1;
@@ -185,27 +193,36 @@ pub struct CampaignCheckpoint {
     pub library_rng: u64,
     /// The coverage map as of the freeze.
     pub coverage: CoverageMap,
+    /// For campaigns driven through an out-of-process DUT supervisor:
+    /// the number of `run` batches issued to the child-process lineage
+    /// as of the freeze. A resumed campaign hands this back to the
+    /// server as its chaos-counter offset, so deterministic fault
+    /// schedules fire at the same cumulative batch whether or not the
+    /// campaign was interrupted. `None` for in-process DUTs.
+    pub remote_batches: Option<u64>,
 }
 
 // ---- byte-level helpers ------------------------------------------------
 
-/// Append-only little-endian byte sink.
+/// Append-only little-endian byte sink. Shared with the remote-DUT wire
+/// protocol ([`crate::proto`]), which frames its messages with the same
+/// byte-level idiom as on-disk records.
 #[derive(Default)]
-struct Cursor {
-    bytes: Vec<u8>,
+pub(crate) struct Cursor {
+    pub(crate) bytes: Vec<u8>,
 }
 
 impl Cursor {
-    fn u8(&mut self, v: u8) {
+    pub(crate) fn u8(&mut self, v: u8) {
         self.bytes.push(v);
     }
-    fn u32(&mut self, v: u32) {
+    pub(crate) fn u32(&mut self, v: u32) {
         self.bytes.extend_from_slice(&v.to_le_bytes());
     }
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.bytes.extend_from_slice(&v.to_le_bytes());
     }
-    fn str(&mut self, s: &str) {
+    pub(crate) fn str(&mut self, s: &str) {
         self.u32(s.len() as u32);
         self.bytes.extend_from_slice(s.as_bytes());
     }
@@ -213,43 +230,43 @@ impl Cursor {
 
 /// Little-endian reader over a record payload. Every getter returns
 /// `None` past the end, which the record loaders treat as corruption.
-struct Slice<'a> {
+pub(crate) struct Slice<'a> {
     bytes: &'a [u8],
     at: usize,
 }
 
 impl<'a> Slice<'a> {
-    fn new(bytes: &'a [u8]) -> Self {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
         Slice { bytes, at: 0 }
     }
-    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+    pub(crate) fn take(&mut self, n: usize) -> Option<&'a [u8]> {
         let end = self.at.checked_add(n)?;
         let chunk = self.bytes.get(self.at..end)?;
         self.at = end;
         Some(chunk)
     }
-    fn u8(&mut self) -> Option<u8> {
+    pub(crate) fn u8(&mut self) -> Option<u8> {
         self.take(1).map(|b| b[0])
     }
-    fn u32(&mut self) -> Option<u32> {
+    pub(crate) fn u32(&mut self) -> Option<u32> {
         self.take(4)
             .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
     }
-    fn u64(&mut self) -> Option<u64> {
+    pub(crate) fn u64(&mut self) -> Option<u64> {
         self.take(8)
             .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
     }
-    fn str(&mut self) -> Option<String> {
+    pub(crate) fn str(&mut self) -> Option<String> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec()).ok()
     }
-    fn exhausted(&self) -> bool {
+    pub(crate) fn exhausted(&self) -> bool {
         self.at == self.bytes.len()
     }
 }
 
-fn checksum(payload: &[u8]) -> u64 {
+pub(crate) fn checksum(payload: &[u8]) -> u64 {
     let mut fnv = Fnv::new();
     fnv.write_bytes(payload);
     fnv.finish()
@@ -259,7 +276,7 @@ fn checksum(payload: &[u8]) -> u64 {
 /// checksum cannot vouch for the length that located the payload in the
 /// first place; this byte can, so a corrupt frame header is detected at
 /// the frame boundary instead of desynchronizing the record stream.
-fn frame_check(tag: u8, len: u32) -> u8 {
+pub(crate) fn frame_check(tag: u8, len: u32) -> u8 {
     let mut fnv = Fnv::new();
     fnv.write_bytes(&[tag]);
     fnv.write_bytes(&len.to_le_bytes());
@@ -315,14 +332,14 @@ fn read_seed(payload: &[u8]) -> Option<SeedEntry> {
     })
 }
 
-fn write_trap(c: &mut Cursor, trap: &Trap) {
+pub(crate) fn write_trap(c: &mut Cursor, trap: &Trap) {
     c.u64(trap.cause().code());
     c.u64(trap.tval());
 }
 
 /// Rebuild a [`Trap`] from its privileged cause code and `mtval`
 /// payload — the inverse of [`Trap::cause`]/[`Trap::tval`].
-fn read_trap(code: u64, tval: u64) -> Option<Trap> {
+pub(crate) fn read_trap(code: u64, tval: u64) -> Option<Trap> {
     Some(match code {
         c if c == Cause::InstructionMisaligned.code() => Trap::InstructionMisaligned { addr: tval },
         c if c == Cause::InstructionFault.code() => Trap::InstructionFault { addr: tval },
@@ -339,7 +356,7 @@ fn read_trap(code: u64, tval: u64) -> Option<Trap> {
     })
 }
 
-fn write_trace_entry(c: &mut Cursor, entry: Option<&TraceEntry>) {
+pub(crate) fn write_trace_entry(c: &mut Cursor, entry: Option<&TraceEntry>) {
     let Some(entry) = entry else {
         c.u8(0);
         return;
@@ -374,7 +391,7 @@ fn write_trace_entry(c: &mut Cursor, entry: Option<&TraceEntry>) {
     }
 }
 
-fn read_trace_entry(s: &mut Slice) -> Option<Option<TraceEntry>> {
+pub(crate) fn read_trace_entry(s: &mut Slice) -> Option<Option<TraceEntry>> {
     if s.u8()? == 0 {
         return Some(None);
     }
@@ -459,6 +476,29 @@ fn write_checkpoint(cp: &CampaignCheckpoint) -> Vec<u8> {
     c.u32(op_classes.len() as u32);
     op_classes.into_iter().for_each(|o| c.u64(o));
     c.u64(cp.report.first_divergence_at.unwrap_or(u64::MAX));
+
+    // v4 tail: out-of-process DUT robustness state — failure counters,
+    // the recorded findings and the supervisor's issued-batch counter
+    // (`u64::MAX` is the in-process "no supervisor" sentinel).
+    c.u64(r.dut_crashes);
+    c.u64(r.dut_hangs);
+    c.u64(r.dut_desyncs);
+    c.u32(r.findings.len() as u32);
+    for finding in &r.findings {
+        c.u8(match finding.kind {
+            FindingKind::DutCrash => 0,
+            FindingKind::DutHang => 1,
+            FindingKind::DutDesync => 2,
+        });
+        c.str(&finding.cause);
+        c.u64(finding.at_batch);
+        c.u64(finding.repeats);
+        c.u32(finding.program.len() as u32);
+        for insn in &finding.program {
+            c.u32(insn.encode_lossy());
+        }
+    }
+    c.u64(cp.remote_batches.unwrap_or(u64::MAX));
     c.bytes
 }
 
@@ -526,6 +566,38 @@ fn read_checkpoint(payload: &[u8]) -> Option<CampaignCheckpoint> {
     report.unique_traces = coverage.unique();
     report.unique_trap_sets = coverage.unique_trap_sets();
 
+    report.dut_crashes = s.u64()?;
+    report.dut_hangs = s.u64()?;
+    report.dut_desyncs = s.u64()?;
+    let findings = s.u32()? as usize;
+    for _ in 0..findings.min(1 << 10) {
+        let kind = match s.u8()? {
+            0 => FindingKind::DutCrash,
+            1 => FindingKind::DutHang,
+            2 => FindingKind::DutDesync,
+            _ => return None,
+        };
+        let cause = s.str()?;
+        let at_batch = s.u64()?;
+        let repeats = s.u64()?;
+        let count = s.u32()? as usize;
+        let mut program = Vec::with_capacity(count.min(1 << 16));
+        for _ in 0..count {
+            program.push(Instruction::decode(s.u32()?).ok()?);
+        }
+        report.findings.push(Finding {
+            kind,
+            cause,
+            program,
+            at_batch,
+            repeats,
+        });
+    }
+    let remote_batches = match s.u64()? {
+        u64::MAX => None,
+        issued => Some(issued),
+    };
+
     s.exhausted().then_some(CampaignCheckpoint {
         config_fingerprint,
         report,
@@ -534,6 +606,7 @@ fn read_checkpoint(payload: &[u8]) -> Option<CampaignCheckpoint> {
         generator_rng,
         library_rng,
         coverage,
+        remote_batches,
     })
 }
 
@@ -768,7 +841,7 @@ mod tests {
         assert!(matches!(err, PersistError::UnsupportedVersion { found: 2 }));
         let message = err.to_string();
         assert!(
-            message.contains("version 2") && message.contains("reads 3"),
+            message.contains("version 2") && message.contains("reads 4"),
             "{message}"
         );
     }
