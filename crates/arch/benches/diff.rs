@@ -8,9 +8,13 @@
 //!   a chaos workload, reported as ns per lockstep step (two `step`s and
 //!   two digests per step). This is the number the incremental
 //!   `Memory::digest` / cached `ArchState::digest` work moves.
-//! * **campaign-jobs1 / campaign-jobsN** — whole sharded campaigns
-//!   (generation, lockstep diffing, coverage, corpus) reported as
-//!   aggregate steps per wall-clock second, 1 worker vs N.
+//! * **campaign-jobs1 / campaign-jobsN** — whole coordinated campaigns
+//!   (generation, lockstep diffing, coverage, corpus) driven through
+//!   `CampaignDriver`, reported as aggregate steps per wall-clock
+//!   second, 1 worker vs N.
+//! * **campaign_live_share** — jobs-N throughput with live cross-worker
+//!   seed admission on (default sync cadence) over the same campaign
+//!   with sharing off: the coordination tax the round barriers charge.
 //!
 //! Medians land in `BENCH_arch.json` next to the interpreter numbers
 //! (see `benches/json.rs`); `TF_BENCH_SMOKE=1` shrinks everything to a
@@ -22,7 +26,10 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use tf_arch::Hart;
-use tf_fuzz::{run_sharded, CampaignConfig, DiffConfig, DiffEngine, DiffVerdict, DEFAULT_WINDOW};
+use tf_fuzz::{
+    CampaignConfig, CampaignDriver, DiffConfig, DiffEngine, DiffVerdict, DEFAULT_SYNC_EVERY,
+    DEFAULT_WINDOW,
+};
 use tf_riscv::{Instruction, InstructionLibrary, LibraryConfig, Opcode};
 
 const MEM_SIZE: u64 = 1 << 20;
@@ -106,20 +113,27 @@ fn bench_digest_resident(pages: u64, iters: u32) -> (f64, f64) {
     (cached, rescan)
 }
 
-/// Aggregate steps/sec of a whole campaign sharded over `jobs` workers.
-fn bench_campaign(jobs: usize, budget: u64) -> f64 {
+/// Aggregate steps/sec of a whole coordinated campaign over `jobs`
+/// workers at the given synchronisation cadence (`0` = live sharing
+/// off, one round per worker).
+fn bench_campaign(jobs: usize, budget: u64, sync_every: u64) -> f64 {
     let config = CampaignConfig::default()
         .with_seed(0xBE9C)
         .with_instruction_budget(budget)
         .with_mem_size(1 << 16);
-    let sharded = run_sharded(&config, jobs, |_| Hart::new(1 << 16));
-    assert!(sharded.merged.is_clean(), "reference campaign diverged");
-    let throughput = sharded.steps_per_sec();
+    let outcome = CampaignDriver::new(config)
+        .with_jobs(jobs)
+        .with_sync_every(sync_every)
+        .run(|_| Ok(Hart::new(1 << 16)))
+        .expect("reference campaign drives");
+    assert!(outcome.report.is_clean(), "reference campaign diverged");
+    let throughput = outcome.steps_per_sec();
     println!(
-        "campaign-jobs{jobs} {throughput:12.0} steps/sec  ({} programs, {} steps, {:.2} s wall)",
-        sharded.merged.programs,
-        sharded.merged.steps_executed,
-        sharded.elapsed.as_secs_f64(),
+        "campaign-jobs{jobs}-sync{sync_every} {throughput:12.0} steps/sec  \
+         ({} programs, {} steps, {:.2} s wall)",
+        outcome.report.programs,
+        outcome.report.steps_executed,
+        outcome.elapsed.as_secs_f64(),
     );
     throughput
 }
@@ -141,7 +155,7 @@ fn main() {
     let windowed = bench_diff(samples, max_steps, DEFAULT_WINDOW);
     let (digest_small, _) = bench_digest_resident(8, iters);
     let (digest_large, rescan_large) = bench_digest_resident(512, iters);
-    let jobs1 = bench_campaign(1, budget);
+    let jobs1 = bench_campaign(1, budget, DEFAULT_SYNC_EVERY);
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
     let mut entries = vec![
         ("diff_ns_per_step", diff),
@@ -158,18 +172,24 @@ fn main() {
     // it just re-times jobs-1 plus scheduler noise, so skip it and label
     // the document instead of recording a misleading "speedup".
     let stale: &[&str] = if cores > 1 {
-        entries.push((
-            // Key carries the worker count so trajectories stay comparable.
-            "campaign_steps_per_sec_jobs4",
-            bench_campaign(JOBS, budget),
-        ));
+        let share_on = bench_campaign(JOBS, budget, DEFAULT_SYNC_EVERY);
+        let share_off = bench_campaign(JOBS, budget, 0);
+        // Key carries the worker count so trajectories stay comparable.
+        entries.push(("campaign_steps_per_sec_jobs4", share_on));
+        // Same-run ratio, so host speed cancels: live admission on over
+        // off. A drop means the round barriers got more expensive.
+        entries.push(("campaign_live_share", share_on / share_off));
+        println!(
+            "campaign_live_share {:.3} (sharing-on/sharing-off throughput, {JOBS} workers)",
+            share_on / share_off
+        );
         &["campaign_single_core"]
     } else {
         println!(
             "campaign-jobs{JOBS}: skipped — single-core host, a scaling comparison would mislead"
         );
         entries.push(("campaign_single_core", 1.0));
-        &["campaign_steps_per_sec_jobs4"]
+        &["campaign_steps_per_sec_jobs4", "campaign_live_share"]
     };
     json::update(&entries, stale);
 }

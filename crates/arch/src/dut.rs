@@ -186,6 +186,24 @@ pub struct DutFailure {
     pub can_continue: bool,
 }
 
+/// Lifetime statistics of an out-of-process DUT backend: how many run
+/// batches its child-process lineage has been issued, how often the
+/// child had to be respawned, and whether the respawn budget is spent.
+/// Reported through [`Dut::remote_stats`] so campaign drivers can
+/// persist the batch counter into checkpoints (deterministic chaos
+/// schedules are keyed on it) and print lineage epilogues without
+/// knowing the concrete supervisor type.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RemoteDutStats {
+    /// Cumulative `run` batches issued to the child lineage, including
+    /// any offset carried over from a resumed campaign.
+    pub batches_issued: u64,
+    /// Child respawns performed so far.
+    pub respawns: u64,
+    /// The respawn budget is exhausted: the backend is permanently inert.
+    pub dead: bool,
+}
+
 /// A device under test: anything that can execute RV64 programs and
 /// expose its architectural state for differential comparison.
 ///
@@ -266,6 +284,15 @@ pub trait Dut {
     /// surfaced, and stop when
     /// [`can_continue`](DutFailure::can_continue) is `false`.
     fn take_failure(&mut self) -> Option<DutFailure> {
+        None
+    }
+
+    /// Lineage statistics when this backend drives an out-of-process
+    /// child ([`RemoteDutStats`]); `None` — the default — for in-process
+    /// backends. Campaign drivers use this to fill the checkpointed
+    /// batch-counter offset and to print remote epilogues without
+    /// downcasting to a concrete supervisor type.
+    fn remote_stats(&self) -> Option<RemoteDutStats> {
         None
     }
 

@@ -67,7 +67,7 @@ mod trap;
 
 pub use dut::{
     fold_op_classes, fold_pc_pair, fold_sample, op_class, BatchOutcome, Dut, DutFailure,
-    DutFailureKind, OP_CLASS_BUCKETS, PC_PAIRS_SEED,
+    DutFailureKind, RemoteDutStats, OP_CLASS_BUCKETS, PC_PAIRS_SEED,
 };
 pub use hart::{Hart, RunExit};
 pub use mem::{Memory, PAGE_SIZE};

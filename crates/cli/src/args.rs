@@ -23,9 +23,12 @@ FUZZ OPTIONS:
                       reported divergences are bit-identical at every K
                       (default 16; 1 compares after every step)
     --jobs <J>        worker threads; the budget is sharded across
-                      seed-disjoint campaigns and the reports merged
-                      (default 1, which is bit-identical to the
-                      single-threaded campaign)
+                      seed-disjoint campaigns coordinated around one
+                      shared corpus — novel seeds are admitted centrally
+                      and broadcast to every worker while the campaign
+                      runs — and the reports merged (default 1, which is
+                      bit-identical to the single-threaded campaign;
+                      any fixed J is deterministic)
     --schedule <S>    corpus power schedule: uniform | fast | explore
                       (default uniform, which is bit-identical to
                       pre-scheduler campaigns; fast and explore weight
@@ -47,13 +50,19 @@ FUZZ OPTIONS:
                       you asked for: divergence | clean | crash | hang
                       (clean also requires zero dut failures)
     --corpus <FILE>   persistent corpus: seed the campaign from FILE when
-                      it exists, and save the grown corpus back to it
-                      (atomically) when the campaign finishes; with
-                      --jobs 1 a resumable checkpoint is saved too
+                      it exists, and save the grown corpus plus a
+                      resumable checkpoint (with per-worker rng streams)
+                      back to it atomically when the campaign finishes
     --resume          continue the campaign checkpointed in --corpus up
                       to the (raised) --steps budget — bit-identical to a
-                      single uninterrupted run; requires --jobs 1 and the
-                      same seed/len/flags as the checkpointed run
+                      single uninterrupted run; requires the same
+                      seed/len/flags and the same --jobs count as the
+                      checkpointed run
+    --autosave-every <B>  with --corpus: also checkpoint mid-run, every B
+                      completed worker batches (deterministic cadence), so
+                      a killed campaign resumes from the last autosave
+    --stats-every <B> print live campaign statistics to stderr every B
+                      completed worker batches (stdout stays report-only)
     -h, --help        print this help
 
 SERVE OPTIONS (the server side of `--dut`; protocol frames only on
@@ -124,6 +133,10 @@ pub struct FuzzArgs {
     pub corpus: Option<String>,
     /// Resume the checkpoint stored in the corpus file.
     pub resume: bool,
+    /// Mid-run checkpoint cadence in completed batches (0 = off).
+    pub autosave_every: u64,
+    /// Live-stats cadence in completed batches (0 = off).
+    pub stats_every: u64,
     /// `-h`/`--help` was given: print usage instead of fuzzing.
     pub help: bool,
 }
@@ -142,6 +155,8 @@ impl Default for FuzzArgs {
             expect: None,
             corpus: None,
             resume: false,
+            autosave_every: 0,
+            stats_every: 0,
             help: false,
         }
     }
@@ -229,19 +244,22 @@ impl FuzzArgs {
                 }
                 "--corpus" => args.corpus = Some(value("--corpus")?),
                 "--resume" => args.resume = true,
+                "--autosave-every" => {
+                    args.autosave_every =
+                        parse_int(&value("--autosave-every")?, "--autosave-every")?;
+                }
+                "--stats-every" => {
+                    args.stats_every = parse_int(&value("--stats-every")?, "--stats-every")?;
+                }
                 "-h" | "--help" => args.help = true,
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
-        if args.resume {
-            if args.corpus.is_none() {
-                return Err("`--resume` requires `--corpus <FILE>`".into());
-            }
-            if args.jobs != 1 {
-                return Err(
-                    "`--resume` requires `--jobs 1` (checkpoints freeze one campaign)".into(),
-                );
-            }
+        if args.resume && args.corpus.is_none() {
+            return Err("`--resume` requires `--corpus <FILE>`".into());
+        }
+        if args.autosave_every > 0 && args.corpus.is_none() {
+            return Err("`--autosave-every` requires `--corpus <FILE>`".into());
         }
         if args.dut.is_some() {
             if args.mutant.is_some() {
@@ -505,9 +523,32 @@ mod tests {
         assert!(args.resume);
 
         assert!(parse(&["--resume"]).unwrap_err().contains("--corpus"));
-        assert!(parse(&["--corpus", "c", "--resume", "--jobs", "4"])
+        // Per-worker rng streams in the checkpoint make resume compose
+        // with any job count.
+        assert!(parse(&["--corpus", "c", "--resume", "--jobs", "4"]).is_ok());
+    }
+
+    #[test]
+    fn coordinator_cadence_flags_parse_and_validate() {
+        let args = parse(&[
+            "--corpus",
+            "c",
+            "--autosave-every",
+            "8",
+            "--stats-every",
+            "4",
+        ])
+        .unwrap();
+        assert_eq!(args.autosave_every, 8);
+        assert_eq!(args.stats_every, 4);
+        assert_eq!(parse(&[]).unwrap().autosave_every, 0);
+        assert_eq!(parse(&[]).unwrap().stats_every, 0);
+        assert!(parse(&["--autosave-every", "8"])
             .unwrap_err()
-            .contains("--jobs 1"));
+            .contains("--corpus"));
+        assert!(parse(&["--stats-every"])
+            .unwrap_err()
+            .contains("requires a value"));
     }
 
     #[test]

@@ -1,29 +1,31 @@
 //! `tf-cli` — command-line driver for TurboFuzz fuzzing campaigns.
 //!
-//! The binary is a thin shell over [`tf_fuzz`]: it parses a handful of
-//! flags (hand-rolled — the container carries no argument-parsing
-//! dependency), shards the instruction budget across `--jobs` worker
-//! campaigns pointed at the requested device under test (the golden
-//! hart, or a [`tf_arch::MutantHart`] with a planted bug scenario) and
-//! prints the merged report. With the default `--jobs 1` the campaign
-//! portion of the output is bit-identical to the single-threaded
-//! [`tf_fuzz::Campaign`].
+//! The binary is a thin shell over [`tf_fuzz::CampaignDriver`]: it
+//! parses a handful of flags (hand-rolled — the container carries no
+//! argument-parsing dependency), points the driver at the requested
+//! device under test (the golden hart, a [`tf_arch::MutantHart`] with a
+//! planted bug scenario, or an out-of-process `--dut` child) and prints
+//! the report. `--jobs N` runs N coordinated workers around one shared
+//! corpus; the default `--jobs 1` is bit-identical to the historical
+//! single-threaded campaign.
 //!
 //! ```text
 //! tf-cli fuzz --seed 7 --steps 10000 --jobs 4 --mutant b2 --expect divergence
-//! tf-cli fuzz --seed 7 --steps 10000 --corpus seeds.tfc
+//! tf-cli fuzz --seed 7 --steps 10000 --corpus seeds.tfc --autosave-every 8
 //! tf-cli fuzz --seed 7 --steps 20000 --corpus seeds.tfc --resume
 //! tf-cli corpus merge all.tfc run-a.tfc run-b.tfc
 //! ```
 //!
 //! `--corpus` makes the campaign persistent: seeds load from the file
 //! before the run and the grown corpus is saved back (atomically) after,
-//! together with a full campaign checkpoint when `--jobs 1`. `--resume`
-//! thaws that checkpoint and continues to a raised `--steps` budget —
-//! bit-identical to a single uninterrupted run, which is what the CI
-//! determinism gate asserts byte for byte. All campaign reports go to
-//! stdout; corpus bookkeeping goes to stderr so resumed and
-//! uninterrupted runs produce identical stdout.
+//! together with a full campaign checkpoint — per-worker rng streams
+//! included, so `--resume` composes with any fixed `--jobs` count.
+//! `--resume` thaws that checkpoint and continues to a raised `--steps`
+//! budget — bit-identical to a single uninterrupted run, which is what
+//! the CI determinism gate asserts byte for byte. All campaign reports
+//! go to stdout; corpus bookkeeping and `--stats-every` live statistics
+//! go to stderr so resumed and uninterrupted runs produce identical
+//! stdout.
 //!
 //! `--expect divergence|clean` turns the campaign outcome into the exit
 //! status, which is how CI gates the fuzzer end to end.
@@ -84,33 +86,90 @@ fn verdict(report: &CampaignReport, expect: Option<Expectation>) -> ExitCode {
         Some(expected) => {
             eprintln!(
                 "tf-cli: expectation failed: wanted {expected}, campaign reported {}",
-                outcome_summary(report)
+                report.outcome_summary()
             );
             ExitCode::from(2)
         }
     }
 }
 
-/// Human description of what a campaign actually reported, for
-/// expectation-failure messages.
-fn outcome_summary(report: &CampaignReport) -> String {
-    let mut parts = Vec::new();
-    if !report.is_clean() {
-        parts.push("divergence");
-    }
-    if report.dut_crashes > 0 {
-        parts.push("dut crash");
-    }
-    if report.dut_hangs > 0 {
-        parts.push("dut hang");
-    }
-    if report.dut_desyncs > 0 {
-        parts.push("dut desync");
-    }
-    if parts.is_empty() {
-        "clean".to_string()
-    } else {
-        parts.join(" + ")
+/// The CLI's [`EventSink`]: corpus bookkeeping and (opt-in) live
+/// statistics, all on stderr so stdout stays report-only and
+/// byte-comparable between resumed and uninterrupted runs.
+struct StderrSink<'a> {
+    /// The corpus file, for the bookkeeping lines that name it.
+    path: Option<&'a Path>,
+    /// `--stats-every N`: print a stats line every N completed batches
+    /// (0 = off).
+    stats_every: u64,
+    /// `--steps`, for the `instructions x/y` progress fraction.
+    budget: u64,
+}
+
+impl EventSink for StderrSink<'_> {
+    fn event(&mut self, event: &CampaignEvent) {
+        match event {
+            CampaignEvent::CorpusLoaded {
+                loaded,
+                skipped,
+                truncated,
+                checkpoint,
+            } => {
+                let path = self.path.expect("a corpus was loaded, so a path was given");
+                eprintln!(
+                    "corpus: loaded {} seed(s) from {} ({} skipped{}{})",
+                    loaded,
+                    path.display(),
+                    skipped,
+                    if *truncated { ", truncated tail" } else { "" },
+                    if *checkpoint {
+                        ", checkpoint present"
+                    } else {
+                        ""
+                    },
+                );
+            }
+            CampaignEvent::CorpusPrimed { admitted } => {
+                eprintln!("corpus: primed {admitted} seed(s) into the campaign");
+            }
+            CampaignEvent::Resuming {
+                instructions_done, ..
+            } => {
+                eprintln!(
+                    "corpus: resuming at {} of {} instructions",
+                    instructions_done, self.budget
+                );
+            }
+            CampaignEvent::BatchCompleted {
+                batch,
+                programs,
+                instructions,
+                steps,
+                unique_traces,
+                corpus,
+                divergent_runs,
+                dut_failures,
+                foreign_admitted,
+                ..
+            } => {
+                if self.stats_every > 0 && batch % self.stats_every == 0 {
+                    eprintln!(
+                        "stats: batch {batch}  instructions {instructions}/{}  \
+                         programs {programs}  steps {steps}  corpus {corpus}  \
+                         traces {unique_traces}  divergent {divergent_runs}  \
+                         dut-failures {dut_failures}  foreign {foreign_admitted}",
+                        self.budget
+                    );
+                }
+            }
+            CampaignEvent::AutosaveWritten {
+                ordinal,
+                batches_completed,
+            } => {
+                eprintln!("corpus: autosave #{ordinal} at batch {batches_completed}");
+            }
+            CampaignEvent::DivergenceFound { .. } | CampaignEvent::DutFailureRecorded { .. } => {}
+        }
     }
 }
 
@@ -131,242 +190,76 @@ fn run_fuzz(args: &FuzzArgs) -> ExitCode {
     if let Some(scenario) = args.mutant {
         eprintln!("injected bug scenario — {scenario}");
     }
-    match &args.corpus {
-        Some(path) => run_fuzz_persistent(args, config, Path::new(path)),
-        None => match &args.dut {
-            Some(argv) => run_fuzz_ephemeral_remote(args, config, argv),
-            None => run_fuzz_ephemeral(args, &config),
-        },
+
+    let path = args.corpus.as_deref().map(Path::new);
+    let mut sink = StderrSink {
+        path,
+        stats_every: args.stats_every,
+        budget: args.steps,
+    };
+    let mut driver = CampaignDriver::new(config.clone())
+        .with_jobs(args.jobs)
+        .with_resume(args.resume)
+        .with_autosave_every(args.autosave_every)
+        .with_event_sink(&mut sink);
+    if let Some(path) = path {
+        driver = driver.with_corpus(path);
     }
-}
 
-/// The original in-memory path: shard, merge, print, gate.
-fn run_fuzz_ephemeral(args: &FuzzArgs, config: &CampaignConfig) -> ExitCode {
-    let sharded = run_sharded_for(config, args.jobs, args.mutant, &[]);
-    println!("{sharded}");
-    verdict(&sharded.merged, args.expect)
-}
-
-/// Ephemeral campaign against an out-of-process DUT. Runs a plain
-/// (unsharded) [`Campaign`] so stdout carries only the deterministic
-/// report — [`ShardedReport`] prints wall-clock throughput, which would
-/// break byte-for-byte report comparison.
-fn run_fuzz_ephemeral_remote(args: &FuzzArgs, config: CampaignConfig, argv: &[String]) -> ExitCode {
-    let mut supervisor = match DutSupervisor::spawn(argv.to_vec(), SupervisorConfig::default(), 0) {
-        Ok(supervisor) => supervisor,
+    let mem_size = config.mem_size;
+    let outcome = match (&args.dut, args.mutant) {
+        // A resumed remote campaign re-bases the child's cumulative
+        // batch counter (spec.remote_batches, thawed from the
+        // checkpoint) so server-side chaos schedules do not re-fire.
+        (Some(argv), _) => driver.run(|spec| {
+            DutSupervisor::spawn(
+                argv.clone(),
+                SupervisorConfig::default(),
+                spec.remote_batches,
+            )
+            .map_err(|error| error.to_string())
+        }),
+        (None, Some(scenario)) => driver.run(move |_| Ok(MutantHart::new(mem_size, scenario))),
+        (None, None) => driver.run(|_| Ok(Hart::new(mem_size))),
+    };
+    let outcome = match outcome {
+        Ok(outcome) => outcome,
         Err(error) => return fail(&error.to_string()),
     };
-    let steps = args.steps;
-    let report = Campaign::new(config).run(&mut supervisor);
-    println!("{report}");
-    remote_epilogue(&supervisor, &report, steps);
-    verdict(&report, args.expect)
-}
 
-/// Stderr bookkeeping after a remote campaign: lineage statistics, and
-/// a loud note when the respawn budget ran out mid-campaign.
-fn remote_epilogue(supervisor: &DutSupervisor, report: &CampaignReport, steps: u64) {
-    eprintln!(
-        "remote dut: {} batch(es) issued, {} respawn(s)",
-        supervisor.batches_issued(),
-        supervisor.respawns()
-    );
-    if supervisor.is_dead() {
-        eprintln!(
-            "remote dut: respawn budget exhausted after {} of {} instructions — \
-             campaign ended early (findings above are still valid)",
-            report.instructions_generated, steps
-        );
-    }
-}
-
-fn run_sharded_for(
-    config: &CampaignConfig,
-    jobs: usize,
-    mutant: Option<BugScenario>,
-    seeds: &[SeedEntry],
-) -> ShardedReport {
-    let mem_size = config.mem_size;
-    match mutant {
-        None => run_sharded_seeded(config, jobs, seeds, |_| Hart::new(mem_size)),
-        Some(scenario) => run_sharded_seeded(config, jobs, seeds, move |_| {
-            MutantHart::new(mem_size, scenario)
-        }),
-    }
-}
-
-/// The persistent path: load seeds (and maybe a checkpoint) from the
-/// corpus file, run, save the grown corpus back. All bookkeeping lines
-/// go to stderr; only the campaign report reaches stdout, so a resumed
-/// run and an uninterrupted run of the same budget print byte-identical
-/// reports.
-fn run_fuzz_persistent(args: &FuzzArgs, config: CampaignConfig, path: &Path) -> ExitCode {
-    let loaded: Option<LoadedFile> = if path.exists() {
-        match persist::load_file(path) {
-            Ok(loaded) => {
-                let r = &loaded.report;
-                eprintln!(
-                    "corpus: loaded {} seed(s) from {} ({} skipped{}{})",
-                    r.loaded,
-                    path.display(),
-                    r.skipped,
-                    if r.truncated { ", truncated tail" } else { "" },
-                    if loaded.checkpoint.is_some() {
-                        ", checkpoint present"
-                    } else {
-                        ""
-                    },
-                );
-                Some(loaded)
-            }
-            Err(error) => return fail(&error.to_string()),
-        }
-    } else if args.resume {
-        return fail(&format!(
-            "cannot resume: `{}` does not exist",
-            path.display()
-        ));
+    // The report comes first: a failing save must not swallow what the
+    // (completed) campaign observed. Plain report when stdout must be
+    // byte-comparable across runs (persistent single-worker campaigns
+    // and remote-DUT runs, whose CI gates cmp stdout); otherwise the
+    // full outcome with per-worker lines and wall-clock throughput.
+    if args.jobs == 1 && (args.corpus.is_some() || args.dut.is_some()) {
+        println!("{}", outcome.report);
     } else {
-        None
-    };
-
-    if args.jobs > 1 {
-        // Sharded persistent run: seed every worker from the file, save
-        // the merged worker corpora back (no checkpoint — those freeze
-        // exactly one campaign, and resuming one against a corpus grown
-        // by other workers would not be bit-identical).
-        if loaded.as_ref().is_some_and(|l| l.checkpoint.is_some()) {
+        println!("{outcome}");
+    }
+    if let Some(stats) = outcome.remote {
+        eprintln!(
+            "remote dut: {} batch(es) issued, {} respawn(s)",
+            stats.batches_issued, stats.respawns
+        );
+        if stats.dead {
             eprintln!(
-                "corpus: warning: a --jobs {} run saves seeds only; the file's \
-                 campaign checkpoint is dropped and --resume will no longer work",
-                args.jobs
+                "remote dut: respawn budget exhausted after {} of {} instructions — \
+                 campaign ended early (findings above are still valid)",
+                outcome.report.instructions_generated, args.steps
             );
         }
-        let seeds = loaded.map(|l| l.entries).unwrap_or_default();
-        let sharded = run_sharded_for(&config, args.jobs, args.mutant, &seeds);
-        // The report comes first: a failing save must not swallow what
-        // the (completed) campaign observed.
-        println!("{sharded}");
-        if let Err(error) = persist::save_entries(path, &sharded.corpus) {
-            return fail(&format!("saving corpus: {error}"));
-        }
-        eprintln!(
-            "corpus: saved {} seed(s) to {}",
-            sharded.corpus.len(),
-            path.display()
-        );
-        return verdict(&sharded.merged, args.expect);
     }
-
-    // Single campaign: checkpointable, resumable.
-    let mem_size = config.mem_size;
-    // A resumed remote campaign re-bases the child's cumulative batch
-    // counter so server-side chaos schedules do not re-fire — the
-    // checkpoint carries the supervisor's issued-batch count.
-    let remote_offset = if args.resume {
-        loaded
-            .as_ref()
-            .and_then(|l| l.checkpoint.as_ref())
-            .and_then(|c| c.remote_batches)
-            .unwrap_or(0)
-    } else {
-        0
-    };
-    let mut supervisor = match &args.dut {
-        Some(argv) => {
-            match DutSupervisor::spawn(argv.clone(), SupervisorConfig::default(), remote_offset) {
-                Ok(supervisor) => Some(supervisor),
-                Err(error) => return fail(&error.to_string()),
-            }
-        }
-        None => None,
-    };
-    let mut golden;
-    let mut mutant_hart;
-    let dut: &mut dyn Dut = match (&mut supervisor, args.mutant) {
-        (Some(supervisor), _) => supervisor,
-        (None, None) => {
-            golden = Hart::new(mem_size);
-            &mut golden
-        }
-        (None, Some(scenario)) => {
-            mutant_hart = MutantHart::new(mem_size, scenario);
-            &mut mutant_hart
-        }
-    };
-
-    let (mut campaign, prior) = if args.resume {
-        let loaded = loaded.expect("resume requires an existing file");
-        if loaded.report.skipped > 0 || loaded.report.truncated {
-            return fail(&format!(
-                "`{}` lost records to corruption ({} skipped{}); a damaged corpus \
-                 cannot resume bit-identically — re-run without --resume to reseed from it",
-                path.display(),
-                loaded.report.skipped,
-                if loaded.report.truncated {
-                    ", truncated tail"
-                } else {
-                    ""
-                }
-            ));
-        }
-        let Some(checkpoint) = loaded.checkpoint else {
-            return fail(&format!(
-                "`{}` carries no campaign checkpoint to resume \
-                 (was it written by `corpus merge` or a --jobs > 1 run?)",
-                path.display()
-            ));
-        };
-        if checkpoint.report.dut != dut.name() {
-            return fail(&format!(
-                "checkpoint was recorded against `{}`, not `{}` — pass the same --mutant",
-                checkpoint.report.dut,
-                dut.name()
-            ));
-        }
-        if checkpoint.report.instructions_generated >= args.steps {
-            return fail(&format!(
-                "nothing to resume: the checkpoint already covers {} instructions; \
-                 raise --steps beyond that to continue the campaign",
-                checkpoint.report.instructions_generated
-            ));
-        }
-        let campaign = match Campaign::restore(config, &checkpoint, &loaded.entries) {
-            Ok(campaign) => campaign,
-            Err(error) => return fail(&error.to_string()),
-        };
-        eprintln!(
-            "corpus: resuming at {} of {} instructions",
-            checkpoint.report.instructions_generated, args.steps
-        );
-        (campaign, checkpoint.report)
-    } else {
-        let mut campaign = Campaign::new(config);
-        if let Some(loaded) = &loaded {
-            let admitted = campaign.prime(&loaded.entries);
-            eprintln!("corpus: primed {admitted} seed(s) into the campaign");
-        }
-        (campaign, CampaignReport::default())
-    };
-
-    let report = campaign.resume(dut, prior);
-    // The report comes first: a failing save must not swallow what the
-    // (completed) campaign observed.
-    println!("{report}");
-    let mut checkpoint = campaign.checkpoint(&report);
-    if let Some(supervisor) = &supervisor {
-        checkpoint.remote_batches = Some(supervisor.batches_issued());
-        remote_epilogue(supervisor, &report, args.steps);
+    match outcome.save() {
+        Ok(Some(saved)) => eprintln!(
+            "corpus: saved {} seed(s) + checkpoint to {}",
+            saved.seeds,
+            saved.path.display()
+        ),
+        Ok(None) => {}
+        Err(error) => return fail(&format!("saving corpus: {error}")),
     }
-    if let Err(error) = persist::save_campaign(path, campaign.corpus().entries(), &checkpoint) {
-        return fail(&format!("saving corpus: {error}"));
-    }
-    eprintln!(
-        "corpus: saved {} seed(s) + checkpoint to {}",
-        campaign.corpus().len(),
-        path.display()
-    );
-    verdict(&report, args.expect)
+    verdict(&outcome.report, args.expect)
 }
 
 /// Distinctive exit status for a scheduled chaos crash, so supervisor
@@ -455,12 +348,22 @@ fn corpus_info(path: &Path) -> ExitCode {
         }
     );
     match loaded.checkpoint {
-        Some(checkpoint) => println!(
-            "  checkpoint: {} instructions against `{}` ({} divergent runs)",
-            checkpoint.report.instructions_generated,
-            checkpoint.report.dut,
-            checkpoint.report.divergent_runs
-        ),
+        Some(checkpoint) => {
+            println!(
+                "  checkpoint: {} instructions against `{}` ({} divergent runs)",
+                checkpoint.report.instructions_generated,
+                checkpoint.report.dut,
+                checkpoint.report.divergent_runs
+            );
+            println!(
+                "  coordinator: {} worker stream(s), {} finding(s), \
+                 autosave #{} after {} batch(es)",
+                checkpoint.worker_count,
+                checkpoint.report.findings.len(),
+                checkpoint.autosave_ordinal,
+                checkpoint.batches_completed
+            );
+        }
         None => println!("  checkpoint: none"),
     }
     if !loaded.entries.is_empty() {
@@ -614,7 +517,9 @@ mod tests {
         assert!(checkpoint.report.instructions_generated >= 2_000);
         assert!(!loaded.entries.is_empty());
 
-        // A sharded persistent run seeds from and rewrites the same file.
+        // A multi-worker persistent run seeds from and rewrites the same
+        // file — and since the coordinator, freezes a resumable
+        // multi-stream checkpoint of its own.
         let sharded = FuzzArgs {
             steps: 2_000,
             jobs: 2,
@@ -623,7 +528,9 @@ mod tests {
         };
         assert_eq!(run_fuzz(&sharded), ExitCode::SUCCESS);
         let loaded = persist::load_file(&corpus).unwrap();
-        assert!(loaded.checkpoint.is_none(), "sharded runs save seeds only");
+        let checkpoint = loaded.checkpoint.expect("coordinated runs checkpoint too");
+        assert_eq!(checkpoint.worker_count, 2);
+        assert_eq!(checkpoint.workers.len(), 2);
         assert!(!loaded.entries.is_empty());
 
         std::fs::remove_dir_all(&dir).unwrap();

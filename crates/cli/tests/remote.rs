@@ -4,7 +4,7 @@
 //! the right finding while the campaign survives, respawns and stays
 //! bit-deterministic — including across checkpoint/resume.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::Command;
 use std::time::Duration;
 
@@ -29,14 +29,41 @@ fn config(seed: u64, budget: u64) -> CampaignConfig {
         .with_mem_size(MEM)
 }
 
-fn spawn(extra: &[&str], supervisor: SupervisorConfig, offset: u64) -> DutSupervisor {
-    DutSupervisor::spawn(serve_argv(extra), supervisor, offset).expect("serve child comes up")
-}
-
 fn temp_path(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("tf-remote-it-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     dir.join(name)
+}
+
+/// Drive one campaign against a freshly spawned `tf-cli serve` child;
+/// the supervisor's lifetime statistics come back through
+/// [`DriveOutcome::remote`].
+fn drive_remote(
+    config: CampaignConfig,
+    extra: &[&str],
+    supervisor: SupervisorConfig,
+    corpus: Option<(&Path, bool)>,
+) -> (CampaignReport, tf_arch::RemoteDutStats) {
+    let mut driver = CampaignDriver::new(config);
+    if let Some((path, resume)) = corpus {
+        driver = driver.with_corpus(path).with_resume(resume);
+    }
+    let outcome = driver
+        .run(|spec| {
+            DutSupervisor::spawn(serve_argv(extra), supervisor, spec.remote_batches)
+                .map_err(|error| error.to_string())
+        })
+        .expect("remote campaign runs");
+    outcome.save().expect("save succeeds");
+    let stats = outcome.remote.expect("a supervisor reports remote stats");
+    (outcome.report, stats)
+}
+
+fn drive_in_process<D: Dut + Send>(config: CampaignConfig, dut: impl Fn() -> D) -> CampaignReport {
+    CampaignDriver::new(config)
+        .run(|_| Ok(dut()))
+        .expect("in-process campaign runs")
+        .report
 }
 
 /// A clean subprocess backend is indistinguishable from the in-process
@@ -46,19 +73,22 @@ fn temp_path(name: &str) -> PathBuf {
 fn remote_clean_backend_matches_in_process_reports() {
     let budget = 2_000;
 
-    let mut golden = Hart::new(MEM);
-    let want = Campaign::new(config(5, budget)).run(&mut golden);
-    let mut remote = spawn(&[], SupervisorConfig::default(), 0);
-    let got = Campaign::new(config(5, budget)).run(&mut remote);
+    let want = drive_in_process(config(5, budget), || Hart::new(MEM));
+    let (got, stats) = drive_remote(config(5, budget), &[], SupervisorConfig::default(), None);
     assert_eq!(got, want, "golden hart over the wire must match exactly");
     assert_eq!(got.to_string(), want.to_string());
-    assert_eq!(remote.respawns(), 0);
+    assert_eq!(stats.respawns, 0);
 
-    let mut mutant = MutantHart::new(MEM, BugScenario::B2ReservedRounding);
-    let want = Campaign::new(config(5, budget)).run(&mut mutant);
+    let want = drive_in_process(config(5, budget), || {
+        MutantHart::new(MEM, BugScenario::B2ReservedRounding)
+    });
     assert!(!want.is_clean(), "the mutant must actually diverge");
-    let mut remote = spawn(&["--mutant", "b2"], SupervisorConfig::default(), 0);
-    let got = Campaign::new(config(5, budget)).run(&mut remote);
+    let (got, _) = drive_remote(
+        config(5, budget),
+        &["--mutant", "b2"],
+        SupervisorConfig::default(),
+        None,
+    );
     assert_eq!(got, want, "mutant divergences over the wire must match");
     assert_eq!(got.dut, "mutant-b2", "server name passes through");
 }
@@ -70,19 +100,18 @@ fn remote_clean_backend_matches_in_process_reports() {
 #[test]
 fn chaos_crash_yields_a_finding_and_the_campaign_survives() {
     let run = || {
-        let mut remote = spawn(
+        drive_remote(
+            config(9, 2_000),
             &["--chaos-crash-after", "2"],
             SupervisorConfig::default(),
-            0,
-        );
-        let report = Campaign::new(config(9, 2_000)).run(&mut remote);
-        (report, remote.respawns(), remote.is_dead())
+            None,
+        )
     };
-    let (report, respawns, dead) = run();
+    let (report, stats) = run();
     assert_eq!(report.dut_crashes, 1);
     assert_eq!(report.dut_hangs + report.dut_desyncs, 0);
-    assert_eq!(respawns, 1);
-    assert!(!dead);
+    assert_eq!(stats.respawns, 1);
+    assert!(!stats.dead);
     assert!(
         report.instructions_generated >= 2_000,
         "the campaign must run to its budget despite the crash"
@@ -99,10 +128,10 @@ fn chaos_crash_yields_a_finding_and_the_campaign_survives() {
         "the offending program is captured"
     );
 
-    let (again, respawns_again, _) = run();
+    let (again, stats_again) = run();
     assert_eq!(again, report, "chaos campaigns are bit-deterministic");
     assert_eq!(again.to_string(), report.to_string());
-    assert_eq!(respawns_again, respawns);
+    assert_eq!(stats_again.respawns, stats.respawns);
 }
 
 /// A wedged child misses the supervisor deadline, is killed, and
@@ -113,11 +142,15 @@ fn chaos_hang_is_detected_by_the_deadline() {
         deadline: Duration::from_millis(250),
         ..SupervisorConfig::default()
     };
-    let mut remote = spawn(&["--chaos-hang-after", "1"], supervisor_config, 0);
-    let report = Campaign::new(config(9, 1_500)).run(&mut remote);
+    let (report, stats) = drive_remote(
+        config(9, 1_500),
+        &["--chaos-hang-after", "1"],
+        supervisor_config,
+        None,
+    );
     assert_eq!(report.dut_hangs, 1);
     assert_eq!(report.dut_crashes + report.dut_desyncs, 0);
-    assert_eq!(remote.respawns(), 1);
+    assert_eq!(stats.respawns, 1);
     let finding = &report.findings[0];
     assert_eq!(finding.kind, FindingKind::DutHang);
     assert!(
@@ -132,15 +165,15 @@ fn chaos_hang_is_detected_by_the_deadline() {
 /// fresh child re-seeded.
 #[test]
 fn chaos_garble_is_detected_as_a_desync() {
-    let mut remote = spawn(
+    let (report, stats) = drive_remote(
+        config(9, 1_500),
         &["--chaos-garble-after", "1"],
         SupervisorConfig::default(),
-        0,
+        None,
     );
-    let report = Campaign::new(config(9, 1_500)).run(&mut remote);
     assert_eq!(report.dut_desyncs, 1);
     assert_eq!(report.dut_crashes + report.dut_hangs, 0);
-    assert_eq!(remote.respawns(), 1);
+    assert_eq!(stats.respawns, 1);
     let finding = &report.findings[0];
     assert_eq!(finding.kind, FindingKind::DutDesync);
     assert!(
@@ -160,11 +193,15 @@ fn respawn_budget_exhaustion_degrades_gracefully() {
         max_consecutive_failures: 1,
         ..SupervisorConfig::default()
     };
-    let mut remote = spawn(&["--chaos-crash-after", "0"], supervisor_config, 0);
-    let report = Campaign::new(config(9, 2_000)).run(&mut remote);
+    let (report, stats) = drive_remote(
+        config(9, 2_000),
+        &["--chaos-crash-after", "0"],
+        supervisor_config,
+        None,
+    );
     assert_eq!(report.dut_crashes, 1);
-    assert!(remote.is_dead());
-    assert_eq!(remote.respawns(), 0);
+    assert!(stats.dead);
+    assert_eq!(stats.respawns, 0);
     assert!(
         report.instructions_generated < 2_000,
         "a dead supervisor must stop the campaign, not spin on it"
@@ -175,46 +212,43 @@ fn respawn_budget_exhaustion_degrades_gracefully() {
 /// The issued-batch offset keeps chaos schedules aligned across
 /// checkpoint/resume: an interrupted-and-resumed campaign reproduces
 /// the uninterrupted run bit for bit, with the chaos fault firing
-/// exactly once at the same cumulative ordinal.
+/// exactly once at the same cumulative ordinal. The offset plumbing is
+/// entirely the driver's: the checkpoint records the supervisor's
+/// issued-batch count, and the resume hands it back through
+/// [`WorkerSpec::remote_batches`].
 #[test]
 fn resume_keeps_the_chaos_schedule_aligned() {
     let budget = 2_000;
 
     // Probe run (no chaos) to learn the batch count, then schedule the
     // crash inside the second half of the campaign.
-    let mut probe = spawn(&[], SupervisorConfig::default(), 0);
-    let _ = Campaign::new(config(13, budget)).run(&mut probe);
-    let total_batches = probe.batches_issued();
-    drop(probe);
+    let (_, probe) = drive_remote(config(13, budget), &[], SupervisorConfig::default(), None);
+    let total_batches = probe.batches_issued;
     assert!(total_batches > 8, "campaign too small to split");
     let ordinal = (3 * total_batches / 4).to_string();
     let chaos: &[&str] = &["--chaos-crash-after", &ordinal];
 
     // Uninterrupted run with the chaos schedule.
-    let mut remote = spawn(chaos, SupervisorConfig::default(), 0);
-    let mut uninterrupted = Campaign::new(config(13, budget));
-    let want = uninterrupted.run(&mut remote);
+    let (want, _) = drive_remote(config(13, budget), chaos, SupervisorConfig::default(), None);
     assert_eq!(want.dut_crashes, 1, "the fault must fire in-budget");
-    drop(remote);
 
-    // The same campaign interrupted at half budget…
-    let mut remote = spawn(chaos, SupervisorConfig::default(), 0);
-    let mut first = Campaign::new(config(13, budget / 2));
-    let half_report = first.run(&mut remote);
-    let mut checkpoint = first.checkpoint(&half_report);
-    checkpoint.remote_batches = Some(remote.batches_issued());
-    drop(remote);
-
-    // …thawed through the file and resumed against a *fresh* child
-    // spawned at the recorded offset.
+    // The same campaign interrupted at half budget, frozen to disk…
     let path = temp_path("chaos-resume.tfc");
-    persist::save_campaign(&path, first.corpus().entries(), &checkpoint).unwrap();
-    let loaded = persist::load_file(&path).unwrap();
-    let checkpoint = loaded.checkpoint.expect("checkpoint was saved");
-    let offset = checkpoint.remote_batches.expect("remote offset was saved");
-    let mut remote = spawn(chaos, SupervisorConfig::default(), offset);
-    let mut second = Campaign::restore(config(13, budget), &checkpoint, &loaded.entries).unwrap();
-    let got = second.resume(&mut remote, checkpoint.report.clone());
+    let _ = drive_remote(
+        config(13, budget / 2),
+        chaos,
+        SupervisorConfig::default(),
+        Some((&path, false)),
+    );
+
+    // …and resumed against a *fresh* child spawned at the recorded
+    // offset.
+    let (got, _) = drive_remote(
+        config(13, budget),
+        chaos,
+        SupervisorConfig::default(),
+        Some((&path, true)),
+    );
 
     assert_eq!(got, want, "resumed chaos campaign must be bit-identical");
     assert_eq!(got.to_string(), want.to_string());

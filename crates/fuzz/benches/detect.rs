@@ -21,7 +21,7 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 use tf_arch::{BugScenario, MutantHart};
-use tf_fuzz::{Campaign, CampaignConfig, PowerSchedule};
+use tf_fuzz::{CampaignConfig, CampaignDriver, PowerSchedule};
 
 const MEM: u64 = 1 << 16;
 
@@ -39,9 +39,10 @@ fn detection_latency(scenario: BugScenario, schedule: PowerSchedule, seed: u64) 
         .with_instruction_budget(BUDGET_CAP)
         .with_mem_size(MEM)
         .with_schedule(schedule);
-    let mut dut = MutantHart::new(MEM, scenario);
-    let report = Campaign::new(config).run(&mut dut);
-    report.first_divergence_at.unwrap_or(BUDGET_CAP)
+    let outcome = CampaignDriver::new(config)
+        .run(|_| Ok(MutantHart::new(MEM, scenario)))
+        .expect("detection campaign drives");
+    outcome.report.first_divergence_at.unwrap_or(BUDGET_CAP)
 }
 
 fn median(latencies: &mut [u64]) -> u64 {

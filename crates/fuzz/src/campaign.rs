@@ -321,6 +321,30 @@ impl std::fmt::Display for Finding {
     }
 }
 
+/// One first-class campaign outcome, unifying the two ways a campaign
+/// flags the device under test: the DUTs disagreed on architectural
+/// state (a [`Divergence`]) or an out-of-process backend failed outright
+/// (a robustness [`Finding`]). Report consumers match on this one enum
+/// instead of walking the two underlying lists; `Display` delegates to
+/// the wrapped type, so printed output is byte-identical to printing it
+/// directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CampaignOutcome<'a> {
+    /// The reference and the DUT disagreed on architectural state.
+    Divergence(&'a Divergence),
+    /// An out-of-process DUT crashed, hung or garbled its protocol.
+    DutFailure(&'a Finding),
+}
+
+impl std::fmt::Display for CampaignOutcome<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignOutcome::Divergence(divergence) => divergence.fmt(f),
+            CampaignOutcome::DutFailure(finding) => finding.fmt(f),
+        }
+    }
+}
+
 /// What a finished campaign observed.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CampaignReport {
@@ -379,6 +403,42 @@ impl CampaignReport {
     #[must_use]
     pub fn dut_failures(&self) -> u64 {
         self.dut_crashes + self.dut_hangs + self.dut_desyncs
+    }
+
+    /// Every recorded outcome — the minimized divergences first, then
+    /// the DUT robustness findings — each wrapped in the unified
+    /// [`CampaignOutcome`] enum so consumers match on one type.
+    pub fn outcomes(&self) -> impl Iterator<Item = CampaignOutcome<'_>> {
+        self.divergences
+            .iter()
+            .map(CampaignOutcome::Divergence)
+            .chain(self.findings.iter().map(CampaignOutcome::DutFailure))
+    }
+
+    /// Human description of what the campaign actually reported, for
+    /// expectation-failure messages: `"clean"`, or the observed outcome
+    /// kinds joined with `" + "` in a fixed order (divergence, dut
+    /// crash, dut hang, dut desync).
+    #[must_use]
+    pub fn outcome_summary(&self) -> String {
+        let mut parts = Vec::new();
+        if !self.is_clean() {
+            parts.push("divergence");
+        }
+        if self.dut_crashes > 0 {
+            parts.push("dut crash");
+        }
+        if self.dut_hangs > 0 {
+            parts.push("dut hang");
+        }
+        if self.dut_desyncs > 0 {
+            parts.push("dut desync");
+        }
+        if parts.is_empty() {
+            "clean".to_string()
+        } else {
+            parts.join(" + ")
+        }
     }
 
     /// Record one DUT failure against the program that triggered it:
@@ -510,12 +570,19 @@ impl std::fmt::Display for CampaignReport {
             "  coverage: {} unique traces, {} trap-cause sets, {} corpus seeds",
             self.unique_traces, self.unique_trap_sets, self.corpus_size
         )?;
+        // Both report sections render through the unified
+        // [`CampaignOutcome`] enum, which delegates to the wrapped
+        // type's `Display` — output is byte-identical to printing the
+        // divergences and findings directly.
         if self.is_clean() {
             write!(f, "  divergences: none")?;
         } else {
             write!(f, "  divergences: {} divergent runs", self.divergent_runs)?;
-            for divergence in &self.divergences {
-                write!(f, "\n{divergence}")?;
+            for outcome in self
+                .outcomes()
+                .filter(|o| matches!(o, CampaignOutcome::Divergence(_)))
+            {
+                write!(f, "\n{outcome}")?;
             }
         }
         // The robustness section only appears when an out-of-process DUT
@@ -526,8 +593,11 @@ impl std::fmt::Display for CampaignReport {
                 "\n  dut failures: {} crashes, {} hangs, {} desyncs",
                 self.dut_crashes, self.dut_hangs, self.dut_desyncs
             )?;
-            for finding in &self.findings {
-                write!(f, "\n{finding}")?;
+            for outcome in self
+                .outcomes()
+                .filter(|o| matches!(o, CampaignOutcome::DutFailure(_)))
+            {
+                write!(f, "\n{outcome}")?;
             }
         }
         Ok(())
@@ -612,7 +682,7 @@ impl Campaign {
     /// Priming is an *input* to the campaign: two campaigns primed with
     /// the same entries are still deterministic, but a primed campaign
     /// explores differently than an unprimed one.
-    pub fn prime(&mut self, entries: &[SeedEntry]) -> usize {
+    pub(crate) fn prime(&mut self, entries: &[SeedEntry]) -> usize {
         let admitted = self.corpus.merge_entries(entries);
         for entry in entries {
             self.coverage.admit(entry.trace_digest);
@@ -630,7 +700,7 @@ impl Campaign {
     /// entries) and running to a larger budget is bit-identical to a
     /// single uninterrupted run of that budget.
     #[must_use]
-    pub fn checkpoint(&self, report: &CampaignReport) -> CampaignCheckpoint {
+    pub(crate) fn checkpoint(&self, report: &CampaignReport) -> CampaignCheckpoint {
         let (generator_rng, library_rng) = self.generator.rng_states();
         CampaignCheckpoint {
             config_fingerprint: self.config.fingerprint(),
@@ -642,8 +712,17 @@ impl Campaign {
             coverage: self.coverage.clone(),
             // The campaign cannot see through the `Dut` trait to a
             // supervisor's issued-batch counter; drivers holding the
-            // concrete supervisor fill this in before persisting.
+            // concrete supervisor fill this in before persisting. The
+            // coordinator bookkeeping (autosave ordinal, round counters,
+            // worker streams) is likewise the coordinator's to fill —
+            // one Campaign is exactly one worker's stream.
             remote_batches: None,
+            autosave_ordinal: 0,
+            batches_completed: 0,
+            rounds_completed: 0,
+            pending_broadcast: 0,
+            worker_count: 1,
+            workers: Vec::new(),
         }
     }
 
@@ -661,7 +740,7 @@ impl Campaign {
     /// with (seed records lost to corruption, or foreign ones added):
     /// mutation scheduling indexes into the corpus, so a changed corpus
     /// silently breaks the bit-identical-resume guarantee.
-    pub fn restore(
+    pub(crate) fn restore(
         config: CampaignConfig,
         checkpoint: &CampaignCheckpoint,
         entries: &[SeedEntry],
@@ -694,9 +773,22 @@ impl Campaign {
     }
 
     /// Run the campaign against `dut`, differencing every program
-    /// against a fresh golden [`Hart`] reference.
-    pub fn run(&mut self, dut: &mut dyn Dut) -> CampaignReport {
+    /// against a fresh golden [`Hart`] reference. Production code goes
+    /// through [`crate::CampaignDriver`]; tests keep this door to pin
+    /// the driver's jobs-1 bit-identity against the plain campaign.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn run(&mut self, dut: &mut dyn Dut) -> CampaignReport {
         self.resume(dut, CampaignReport::default())
+    }
+
+    /// Replace the instruction budget mid-flight. The coordinator slices
+    /// one worker's campaign into synchronisation rounds by repeatedly
+    /// raising the budget and calling [`Campaign::resume`]; because
+    /// [`DiffEngine::diff_with`] resets both harts per program, the
+    /// sliced run is bit-identical to one uninterrupted run of the final
+    /// budget.
+    pub(crate) fn set_instruction_budget(&mut self, budget: u64) {
+        self.config.instruction_budget = budget;
     }
 
     /// Continue a campaign from prior report counters — the resume path.
@@ -710,7 +802,7 @@ impl Campaign {
     /// than `dut` (by [`Dut::name`]) — continuing another device's
     /// campaign would attribute its counters, and any divergences, to
     /// the wrong DUT. An empty `prior.dut` (a fresh report) is exempt.
-    pub fn resume(&mut self, dut: &mut dyn Dut, prior: CampaignReport) -> CampaignReport {
+    pub(crate) fn resume(&mut self, dut: &mut dyn Dut, prior: CampaignReport) -> CampaignReport {
         assert!(
             prior.dut.is_empty() || prior.dut == dut.name(),
             "cannot resume a campaign recorded against `{}` on `{}`",

@@ -135,6 +135,13 @@ impl Corpus {
         &self.entries
     }
 
+    /// Mutable access for the campaign coordinator, which folds the
+    /// owning workers' live calibration back into its admission-time
+    /// clones before the corpus leaves the coordinator.
+    pub(crate) fn entries_mut(&mut self) -> &mut [SeedEntry] {
+        &mut self.entries
+    }
+
     /// Consume the corpus, yielding its entries without cloning the
     /// programs — for handing a finished campaign's corpus to a report
     /// or the persistence layer.

@@ -24,22 +24,29 @@
 //!   and a mismatching window is replayed step-at-a-time so the reported
 //!   [`Divergence`] — down to the first diverging
 //!   [`tf_arch::TraceEntry`] — is bit-identical to an exact run.
-//! * [`Campaign`] — the driver tying it all together, reproducible from a
-//!   single seed and reported through [`CampaignReport`].
-//! * [`run_sharded`] — one instruction budget split across worker threads:
-//!   every worker runs its own seed-disjoint, individually deterministic
-//!   [`Campaign`], and the per-worker reports, coverage maps *and corpora*
-//!   are merged (divergences deduplicated by [`Divergence::fingerprint`],
-//!   corpus entries by [`SeedEntry::coverage_key`]) into a
-//!   [`ShardedReport`] with aggregate steps/sec.
+//! * [`CampaignDriver`] — the single entry point for running campaigns:
+//!   a builder (`with_jobs`, `with_corpus`, `with_resume`,
+//!   `with_event_sink`, …) whose [`CampaignDriver::run`] spins up a
+//!   coordinator that owns the [`Corpus`], [`CoverageMap`] and findings
+//!   while worker threads pull seed batches over channels. Seeds one
+//!   worker discovers are admitted centrally *while the campaign runs*
+//!   and broadcast to every other worker, reshaping their power-schedule
+//!   energies mid-flight — yet admission is ordered by worker id, not
+//!   channel arrival, so a `--jobs N` campaign is deterministic for a
+//!   fixed `N` and `--jobs 1` is bit-identical to the single-threaded
+//!   [`Campaign`]. Progress streams through the [`EventSink`] trait as
+//!   [`CampaignEvent`]s, and the merged result is a [`DriveOutcome`]
+//!   with aggregate steps/sec.
 //! * [`persist`] — the versioned on-disk corpus format: seed entries plus
-//!   an optional [`CampaignCheckpoint`](persist::CampaignCheckpoint), with
-//!   a header that pins the format version and the
+//!   an optional [`CampaignCheckpoint`](persist::CampaignCheckpoint)
+//!   (which since format v5 carries per-worker rng streams, so `--resume`
+//!   composes with `--jobs N`), with a header that pins the format
+//!   version and the
 //!   [`digest stability fingerprint`](tf_arch::digest::STABILITY_FINGERPRINT)
 //!   so stale corpora are rejected, per-record checksums so corrupt
 //!   entries are skipped, and atomic writes. [`Corpus::save`],
-//!   [`Corpus::load`], [`Campaign::checkpoint`] and [`Campaign::restore`]
-//!   are the high-level doors; together they make campaigns resumable
+//!   [`Corpus::load`] and the driver's `with_corpus`/`with_resume` are
+//!   the high-level doors; together they make campaigns resumable
 //!   (`tf-cli fuzz --corpus C --resume` is bit-identical to an
 //!   uninterrupted run) and corpora shareable between runs.
 //! * [`proto`] / [`remote`] / [`mod@serve`] — the out-of-process DUT
@@ -59,26 +66,29 @@
 //!
 //! ```
 //! use tf_arch::{BugScenario, Hart, MutantHart};
-//! use tf_fuzz::{Campaign, CampaignConfig};
+//! use tf_fuzz::{CampaignConfig, CampaignDriver};
 //!
 //! let config = CampaignConfig {
 //!     instruction_budget: 1_000,
 //!     mem_size: 1 << 16,
 //!     ..CampaignConfig::default()
 //! };
-//! let mut mutant = MutantHart::new(1 << 16, BugScenario::B2ReservedRounding);
-//! let report = Campaign::new(config.clone()).run(&mut mutant);
-//! assert!(!report.is_clean());
+//! let outcome = CampaignDriver::new(config.clone())
+//!     .run(|_spec| Ok(MutantHart::new(1 << 16, BugScenario::B2ReservedRounding)))
+//!     .unwrap();
+//! assert!(!outcome.report.is_clean());
 //!
-//! let mut golden = Hart::new(1 << 16);
-//! let report = Campaign::new(config).run(&mut golden);
-//! assert!(report.is_clean());
+//! let outcome = CampaignDriver::new(config)
+//!     .run(|_spec| Ok(Hart::new(1 << 16)))
+//!     .unwrap();
+//! assert!(outcome.report.is_clean());
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod campaign;
+mod coordinator;
 mod corpus;
 mod coverage;
 mod diff;
@@ -89,9 +99,14 @@ pub mod remote;
 mod rng;
 mod schedule;
 pub mod serve;
-mod shard;
 
-pub use campaign::{Campaign, CampaignConfig, CampaignReport, Finding, FindingKind, RestoreError};
+pub use campaign::{
+    Campaign, CampaignConfig, CampaignOutcome, CampaignReport, Finding, FindingKind, RestoreError,
+};
+pub use coordinator::{
+    shard_config, worker_seed, CampaignDriver, CampaignEvent, DriveError, DriveOutcome, EventSink,
+    SaveSummary, WorkerReport, WorkerSpec, DEFAULT_SYNC_EVERY,
+};
 pub use corpus::{minimize, Corpus, SeedCalibration, SeedEntry};
 pub use coverage::CoverageMap;
 pub use diff::{
@@ -101,9 +116,6 @@ pub use generator::{GeneratorConfig, ProgramGenerator};
 pub use remote::{DutSupervisor, SpawnError, SupervisorConfig};
 pub use schedule::{PowerSchedule, MAX_ENERGY};
 pub use serve::{serve, ChaosConfig, ServeOutcome};
-pub use shard::{
-    run_sharded, run_sharded_seeded, shard_config, worker_seed, ShardedReport, WorkerReport,
-};
 
 pub mod prelude {
     //! One-stop import for campaign-facing code.
@@ -122,17 +134,20 @@ pub mod prelude {
     //! let config = CampaignConfig::default()
     //!     .with_instruction_budget(1_000)
     //!     .with_mem_size(1 << 16);
-    //! let mut dut = MutantHart::new(1 << 16, BugScenario::B2ReservedRounding);
-    //! assert!(!Campaign::new(config).run(&mut dut).is_clean());
+    //! let outcome = CampaignDriver::new(config)
+    //!     .run(|_spec| Ok(MutantHart::new(1 << 16, BugScenario::B2ReservedRounding)))
+    //!     .unwrap();
+    //! assert!(!outcome.report.is_clean());
     //! ```
 
     pub use crate::persist::{self, LoadReport, LoadedFile, PersistError};
     pub use crate::{
-        minimize, run_sharded, run_sharded_seeded, serve, shard_config, worker_seed, Campaign,
-        CampaignConfig, CampaignReport, ChaosConfig, ConfigError, Corpus, CoverageMap, DiffConfig,
-        DiffEngine, DiffScratch, DiffVerdict, Divergence, DutSupervisor, Finding, FindingKind,
-        PowerSchedule, RestoreError, SeedCalibration, SeedEntry, ServeOutcome, ShardedReport,
-        SpawnError, SupervisorConfig, WorkerReport, DEFAULT_WINDOW,
+        minimize, serve, shard_config, worker_seed, Campaign, CampaignConfig, CampaignDriver,
+        CampaignEvent, CampaignOutcome, CampaignReport, ChaosConfig, ConfigError, Corpus,
+        CoverageMap, DiffConfig, DiffEngine, DiffScratch, DiffVerdict, Divergence, DriveError,
+        DriveOutcome, DutSupervisor, EventSink, Finding, FindingKind, PowerSchedule, RestoreError,
+        SaveSummary, SeedCalibration, SeedEntry, ServeOutcome, SpawnError, SupervisorConfig,
+        WorkerReport, WorkerSpec, DEFAULT_SYNC_EVERY, DEFAULT_WINDOW,
     };
     pub use tf_arch::{
         fold_sample, BatchOutcome, BugScenario, Dut, DutFailure, DutFailureKind, Hart, MutantHart,

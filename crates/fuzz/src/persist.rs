@@ -82,7 +82,16 @@ pub const MAGIC: [u8; 8] = *b"TFCORPUS";
 /// ([`CampaignCheckpoint::remote_batches`]), so `--resume` against a
 /// respawned external DUT — chaos schedules included — stays
 /// bit-identical to an uninterrupted run.
-pub const FORMAT_VERSION: u32 = 4;
+///
+/// Version 5 makes checkpoints coordinator-aware: the global block is
+/// re-laid-out (all report fields together, then the coverage sets) and
+/// gains the autosave ordinal, the completed-batch and completed-round
+/// counters, the pending-broadcast tail length, the worker count, and —
+/// for multi-worker campaigns — one [`WorkerStream`] section per worker
+/// (its four RNG stream positions, its own report, coverage map and
+/// corpus entries, and its foreign-admission counter), so `--resume`
+/// composes with `--jobs N`. Seed records are unchanged from v3/v4.
+pub const FORMAT_VERSION: u32 = 5;
 
 /// Record tag for one corpus seed entry.
 pub const TAG_SEED: u8 = 1;
@@ -200,6 +209,56 @@ pub struct CampaignCheckpoint {
     /// schedules fire at the same cumulative batch whether or not the
     /// campaign was interrupted. `None` for in-process DUTs.
     pub remote_batches: Option<u64>,
+    /// How many autosave checkpoints the campaign has written so far
+    /// (v5; the coordinator bumps this on every periodic freeze).
+    pub autosave_ordinal: u64,
+    /// Worker round-slices completed across the whole campaign — the
+    /// deterministic currency the autosave cadence is counted in (v5).
+    pub batches_completed: u64,
+    /// Coordinator rounds completed; a resumed campaign continues its
+    /// round-slice targets from here so two resumed runs slice their
+    /// budgets identically (v5).
+    pub rounds_completed: u64,
+    /// Length of the global corpus tail that was admitted in the final
+    /// completed round and not yet broadcast to the workers. A resumed
+    /// coordinator re-broadcasts exactly these entries first (v5).
+    pub pending_broadcast: usize,
+    /// Worker count the campaign ran with. `--resume` requires the same
+    /// `--jobs` value: per-worker streams only continue at the worker
+    /// count they were frozen at (v5).
+    pub worker_count: usize,
+    /// Per-worker stream sections for multi-worker campaigns; empty for
+    /// single-worker campaigns, whose state *is* the global block (v5).
+    pub workers: Vec<WorkerStream>,
+}
+
+/// The frozen mid-run state of one coordinator worker: everything needed
+/// to rebuild its [`Campaign`](crate::Campaign) exactly — RNG stream
+/// positions, its own report and coverage, and its private corpus (which
+/// can differ from the merged global corpus: two workers may discover
+/// different programs with the same coverage key, and only the
+/// lower-indexed worker's program enters the global corpus).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerStream {
+    /// Worker index, `0..worker_count`.
+    pub worker: usize,
+    /// Campaign scheduling stream position.
+    pub campaign_rng: u64,
+    /// Corpus mutation stream position.
+    pub corpus_rng: u64,
+    /// Generator decision stream position.
+    pub generator_rng: u64,
+    /// Instruction-library sampling stream position.
+    pub library_rng: u64,
+    /// Seeds this worker admitted that were discovered by *other*
+    /// workers — the live cross-worker sharing counter.
+    pub foreign_admitted: u64,
+    /// The worker's own report counters as of the freeze.
+    pub report: CampaignReport,
+    /// The worker's own coverage map as of the freeze.
+    pub coverage: CoverageMap,
+    /// The worker's private corpus entries, in admission order.
+    pub entries: Vec<SeedEntry>,
 }
 
 // ---- byte-level helpers ------------------------------------------------
@@ -425,15 +484,13 @@ pub(crate) fn read_trace_entry(s: &mut Slice) -> Option<Option<TraceEntry>> {
     }))
 }
 
-fn write_checkpoint(cp: &CampaignCheckpoint) -> Vec<u8> {
-    let mut c = Cursor::default();
-    c.u64(cp.config_fingerprint);
-    c.u64(cp.campaign_rng);
-    c.u64(cp.corpus_rng);
-    c.u64(cp.generator_rng);
-    c.u64(cp.library_rng);
-
-    let r = &cp.report;
+/// Serialize a full [`CampaignReport`] — counters, detection latency,
+/// divergences, robustness counters and findings. Shared between the
+/// global checkpoint block and every per-worker stream section. The
+/// coverage-derived `unique_traces`/`unique_trap_sets` fields are *not*
+/// written; readers rederive them from the coverage map stored next to
+/// the report.
+fn write_report(c: &mut Cursor, r: &CampaignReport) {
     c.str(&r.dut);
     for counter in [
         r.programs,
@@ -447,39 +504,17 @@ fn write_checkpoint(cp: &CampaignCheckpoint) -> Vec<u8> {
     ] {
         c.u64(counter);
     }
+    // `u64::MAX` is the no-divergence-yet sentinel (a real campaign
+    // cannot generate that many instructions).
+    c.u64(r.first_divergence_at.unwrap_or(u64::MAX));
     c.u32(r.divergences.len() as u32);
     for d in &r.divergences {
         c.u64(d.step);
-        write_trace_entry(&mut c, d.reference.as_ref());
-        write_trace_entry(&mut c, d.dut.as_ref());
+        write_trace_entry(c, d.reference.as_ref());
+        write_trace_entry(c, d.dut.as_ref());
         c.u64(d.reference_digest);
         c.u64(d.dut_digest);
     }
-
-    // Hash-set iteration order is nondeterministic; sort so identical
-    // campaigns write byte-identical checkpoints.
-    let digests = cp.coverage.digests_sorted();
-    c.u32(digests.len() as u32);
-    digests.into_iter().for_each(|d| c.u64(d));
-    let trap_sets = cp.coverage.trap_sets_sorted();
-    c.u32(trap_sets.len() as u32);
-    trap_sets.into_iter().for_each(|t| c.u64(t));
-    c.u64(cp.coverage.observations());
-
-    // v3 tail: the yield-signal coverage sets and the detection-latency
-    // counter, so resumed campaigns keep the exact energy landscape and
-    // first-divergence bookkeeping of an uninterrupted run.
-    let pc_pairs = cp.coverage.pc_pairs_sorted();
-    c.u32(pc_pairs.len() as u32);
-    pc_pairs.into_iter().for_each(|p| c.u64(p));
-    let op_classes = cp.coverage.op_classes_sorted();
-    c.u32(op_classes.len() as u32);
-    op_classes.into_iter().for_each(|o| c.u64(o));
-    c.u64(cp.report.first_divergence_at.unwrap_or(u64::MAX));
-
-    // v4 tail: out-of-process DUT robustness state — failure counters,
-    // the recorded findings and the supervisor's issued-batch counter
-    // (`u64::MAX` is the in-process "no supervisor" sentinel).
     c.u64(r.dut_crashes);
     c.u64(r.dut_hangs);
     c.u64(r.dut_desyncs);
@@ -498,18 +533,12 @@ fn write_checkpoint(cp: &CampaignCheckpoint) -> Vec<u8> {
             c.u32(insn.encode_lossy());
         }
     }
-    c.u64(cp.remote_batches.unwrap_or(u64::MAX));
-    c.bytes
 }
 
-fn read_checkpoint(payload: &[u8]) -> Option<CampaignCheckpoint> {
-    let mut s = Slice::new(payload);
-    let config_fingerprint = s.u64()?;
-    let campaign_rng = s.u64()?;
-    let corpus_rng = s.u64()?;
-    let generator_rng = s.u64()?;
-    let library_rng = s.u64()?;
-
+/// Inverse of [`write_report`]. The coverage-derived unique counters are
+/// left at zero; the caller sets them from the coverage map read
+/// alongside.
+fn read_report(s: &mut Slice) -> Option<CampaignReport> {
     let mut report = CampaignReport {
         dut: s.str()?,
         ..CampaignReport::default()
@@ -522,11 +551,15 @@ fn read_checkpoint(payload: &[u8]) -> Option<CampaignCheckpoint> {
     report.out_of_gas_exits = s.u64()?;
     report.divergent_runs = s.u64()?;
     report.corpus_size = usize::try_from(s.u64()?).ok()?;
+    report.first_divergence_at = match s.u64()? {
+        u64::MAX => None,
+        at => Some(at),
+    };
     let divergences = s.u32()? as usize;
     for _ in 0..divergences.min(1 << 10) {
         let step = s.u64()?;
-        let reference = read_trace_entry(&mut s)?;
-        let dut = read_trace_entry(&mut s)?;
+        let reference = read_trace_entry(s)?;
+        let dut = read_trace_entry(s)?;
         let reference_digest = s.u64()?;
         let dut_digest = s.u64()?;
         report.divergences.push(Divergence {
@@ -537,35 +570,6 @@ fn read_checkpoint(payload: &[u8]) -> Option<CampaignCheckpoint> {
             dut_digest,
         });
     }
-
-    let mut coverage = CoverageMap::new();
-    let digests = s.u32()? as usize;
-    for _ in 0..digests {
-        coverage.admit(s.u64()?);
-    }
-    let trap_sets = s.u32()? as usize;
-    for _ in 0..trap_sets {
-        coverage.admit_trap_set(s.u64()?);
-    }
-    coverage.set_observations(s.u64()?);
-
-    let pc_pairs = s.u32()? as usize;
-    for _ in 0..pc_pairs {
-        coverage.admit_pc_pairs(s.u64()?);
-    }
-    let op_classes = s.u32()? as usize;
-    for _ in 0..op_classes {
-        coverage.admit_op_classes(s.u64()?);
-    }
-    // `u64::MAX` is the no-divergence-yet sentinel (a real campaign
-    // cannot generate that many instructions).
-    report.first_divergence_at = match s.u64()? {
-        u64::MAX => None,
-        at => Some(at),
-    };
-    report.unique_traces = coverage.unique();
-    report.unique_trap_sets = coverage.unique_trap_sets();
-
     report.dut_crashes = s.u64()?;
     report.dut_hangs = s.u64()?;
     report.dut_desyncs = s.u64()?;
@@ -593,10 +597,151 @@ fn read_checkpoint(payload: &[u8]) -> Option<CampaignCheckpoint> {
             repeats,
         });
     }
+    Some(report)
+}
+
+/// Serialize a [`CoverageMap`]: all four key families plus the
+/// observation counter. Hash-set iteration order is nondeterministic;
+/// each family is sorted so identical campaigns write byte-identical
+/// checkpoints.
+fn write_coverage(c: &mut Cursor, coverage: &CoverageMap) {
+    let digests = coverage.digests_sorted();
+    c.u32(digests.len() as u32);
+    digests.into_iter().for_each(|d| c.u64(d));
+    let trap_sets = coverage.trap_sets_sorted();
+    c.u32(trap_sets.len() as u32);
+    trap_sets.into_iter().for_each(|t| c.u64(t));
+    let pc_pairs = coverage.pc_pairs_sorted();
+    c.u32(pc_pairs.len() as u32);
+    pc_pairs.into_iter().for_each(|p| c.u64(p));
+    let op_classes = coverage.op_classes_sorted();
+    c.u32(op_classes.len() as u32);
+    op_classes.into_iter().for_each(|o| c.u64(o));
+    c.u64(coverage.observations());
+}
+
+/// Inverse of [`write_coverage`].
+fn read_coverage(s: &mut Slice) -> Option<CoverageMap> {
+    let mut coverage = CoverageMap::new();
+    let digests = s.u32()? as usize;
+    for _ in 0..digests {
+        coverage.admit(s.u64()?);
+    }
+    let trap_sets = s.u32()? as usize;
+    for _ in 0..trap_sets {
+        coverage.admit_trap_set(s.u64()?);
+    }
+    let pc_pairs = s.u32()? as usize;
+    for _ in 0..pc_pairs {
+        coverage.admit_pc_pairs(s.u64()?);
+    }
+    let op_classes = s.u32()? as usize;
+    for _ in 0..op_classes {
+        coverage.admit_op_classes(s.u64()?);
+    }
+    coverage.set_observations(s.u64()?);
+    Some(coverage)
+}
+
+fn write_worker_stream(c: &mut Cursor, ws: &WorkerStream) {
+    c.u32(ws.worker as u32);
+    c.u64(ws.campaign_rng);
+    c.u64(ws.corpus_rng);
+    c.u64(ws.generator_rng);
+    c.u64(ws.library_rng);
+    c.u64(ws.foreign_admitted);
+    write_report(c, &ws.report);
+    write_coverage(c, &ws.coverage);
+    // Entries are embedded length-prefixed so the seed-record codec is
+    // reused verbatim (it validates against its exact payload length).
+    c.u32(ws.entries.len() as u32);
+    for entry in &ws.entries {
+        let payload = write_seed(entry);
+        c.u32(payload.len() as u32);
+        c.bytes.extend_from_slice(&payload);
+    }
+}
+
+fn read_worker_stream(s: &mut Slice) -> Option<WorkerStream> {
+    let worker = s.u32()? as usize;
+    let campaign_rng = s.u64()?;
+    let corpus_rng = s.u64()?;
+    let generator_rng = s.u64()?;
+    let library_rng = s.u64()?;
+    let foreign_admitted = s.u64()?;
+    let mut report = read_report(s)?;
+    let coverage = read_coverage(s)?;
+    report.unique_traces = coverage.unique();
+    report.unique_trap_sets = coverage.unique_trap_sets();
+    let count = s.u32()? as usize;
+    let mut entries = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        let len = s.u32()? as usize;
+        let payload = s.take(len)?;
+        entries.push(read_seed(payload)?);
+    }
+    Some(WorkerStream {
+        worker,
+        campaign_rng,
+        corpus_rng,
+        generator_rng,
+        library_rng,
+        foreign_admitted,
+        report,
+        coverage,
+        entries,
+    })
+}
+
+fn write_checkpoint(cp: &CampaignCheckpoint) -> Vec<u8> {
+    let mut c = Cursor::default();
+    c.u64(cp.config_fingerprint);
+    c.u64(cp.campaign_rng);
+    c.u64(cp.corpus_rng);
+    c.u64(cp.generator_rng);
+    c.u64(cp.library_rng);
+    write_report(&mut c, &cp.report);
+    write_coverage(&mut c, &cp.coverage);
+    // `u64::MAX` is the in-process "no supervisor" sentinel.
+    c.u64(cp.remote_batches.unwrap_or(u64::MAX));
+    // v5 tail: coordinator state.
+    c.u64(cp.autosave_ordinal);
+    c.u64(cp.batches_completed);
+    c.u64(cp.rounds_completed);
+    c.u64(cp.pending_broadcast as u64);
+    c.u32(cp.worker_count as u32);
+    c.u32(cp.workers.len() as u32);
+    for ws in &cp.workers {
+        write_worker_stream(&mut c, ws);
+    }
+    c.bytes
+}
+
+fn read_checkpoint(payload: &[u8]) -> Option<CampaignCheckpoint> {
+    let mut s = Slice::new(payload);
+    let config_fingerprint = s.u64()?;
+    let campaign_rng = s.u64()?;
+    let corpus_rng = s.u64()?;
+    let generator_rng = s.u64()?;
+    let library_rng = s.u64()?;
+    let mut report = read_report(&mut s)?;
+    let coverage = read_coverage(&mut s)?;
+    report.unique_traces = coverage.unique();
+    report.unique_trap_sets = coverage.unique_trap_sets();
     let remote_batches = match s.u64()? {
         u64::MAX => None,
         issued => Some(issued),
     };
+    let autosave_ordinal = s.u64()?;
+    let batches_completed = s.u64()?;
+    let rounds_completed = s.u64()?;
+    let pending_broadcast = usize::try_from(s.u64()?).ok()?;
+    let worker_count = s.u32()? as usize;
+    let streams = s.u32()? as usize;
+    let mut workers = Vec::with_capacity(streams.min(1 << 10));
+    for _ in 0..streams.min(1 << 10) {
+        workers.push(read_worker_stream(&mut s)?);
+    }
 
     s.exhausted().then_some(CampaignCheckpoint {
         config_fingerprint,
@@ -607,6 +752,12 @@ fn read_checkpoint(payload: &[u8]) -> Option<CampaignCheckpoint> {
         library_rng,
         coverage,
         remote_batches,
+        autosave_ordinal,
+        batches_completed,
+        rounds_completed,
+        pending_broadcast,
+        worker_count,
+        workers,
     })
 }
 
@@ -841,7 +992,7 @@ mod tests {
         assert!(matches!(err, PersistError::UnsupportedVersion { found: 2 }));
         let message = err.to_string();
         assert!(
-            message.contains("version 2") && message.contains("reads 4"),
+            message.contains("version 2") && message.contains("reads 5"),
             "{message}"
         );
     }

@@ -487,6 +487,14 @@ impl Dut for DutSupervisor {
         self.name_static
     }
 
+    fn remote_stats(&self) -> Option<tf_arch::RemoteDutStats> {
+        Some(tf_arch::RemoteDutStats {
+            batches_issued: self.batches_issued(),
+            respawns: self.respawns(),
+            dead: self.is_dead(),
+        })
+    }
+
     fn reset(&mut self) {
         {
             let mut inner = self.inner.borrow_mut();

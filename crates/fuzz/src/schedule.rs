@@ -15,6 +15,15 @@
 //! the weighted draw collapse to exactly the pre-scheduler uniform
 //! pick — one RNG draw, identical stream — so the uniform schedule
 //! reproduces historical campaigns bit for bit.
+//!
+//! Under a multi-worker [`CampaignDriver`](crate::CampaignDriver) the
+//! energy table is live across the fleet: seeds another worker
+//! discovered arrive at each round boundary carrying their admitting
+//! worker's calibration, enter this worker's corpus like local
+//! admissions, and compete for mutation energy from the next draw on.
+//! A high-yield seed found by worker 3 therefore starts soaking up
+//! energy on worker 0 mid-run — the feedback loop the schedules
+//! implement spans workers, not just one campaign's own corpus.
 
 use crate::corpus::SeedCalibration;
 

@@ -10,18 +10,18 @@ use tf_fuzz::prelude::*;
 
 const MEM: u64 = 1 << 16;
 
-fn campaign(seed: u64, budget: u64) -> Campaign {
-    Campaign::new(
-        CampaignConfig::default()
-            .with_seed(seed)
-            .with_instruction_budget(budget)
-            .with_mem_size(MEM),
-    )
+fn config(seed: u64, budget: u64) -> CampaignConfig {
+    CampaignConfig::default()
+        .with_seed(seed)
+        .with_instruction_budget(budget)
+        .with_mem_size(MEM)
 }
 
 fn run_mutant(scenario: BugScenario, budget: u64) -> CampaignReport {
-    let mut dut = MutantHart::new(MEM, scenario);
-    campaign(7, budget).run(&mut dut)
+    CampaignDriver::new(config(7, budget))
+        .run(|_| Ok(MutantHart::new(MEM, scenario)))
+        .unwrap()
+        .report
 }
 
 #[test]
@@ -73,8 +73,10 @@ fn reference_campaign_is_clean_over_ten_thousand_instructions() {
     // The zero-false-positive half of the acceptance bar, at the full
     // 10k-instruction scale (the CI gate repeats this with the release
     // binary through tf-cli).
-    let mut dut = Hart::new(MEM);
-    let report = campaign(7, 10_000).run(&mut dut);
+    let report = CampaignDriver::new(config(7, 10_000))
+        .run(|_| Ok(Hart::new(MEM)))
+        .unwrap()
+        .report;
     assert!(
         report.is_clean(),
         "reference vs reference diverged:\n{report}"
@@ -89,18 +91,17 @@ fn mutants_are_quiet_when_their_trigger_is_never_generated() {
     // wrappers themselves).
     use tf_riscv::LibraryConfig;
     for scenario in [BugScenario::B2ReservedRounding, BugScenario::DroppedFflags] {
-        let mut config = CampaignConfig::default()
-            .with_seed(11)
-            .with_instruction_budget(1_500)
-            .with_mem_size(MEM);
+        let mut config = config(11, 1_500);
         config.library = LibraryConfig::base_integer();
-        let mut dut = MutantHart::new(MEM, scenario);
-        let report = Campaign::new(config).run(&mut dut);
+        let report = CampaignDriver::new(config)
+            .run(|_| Ok(MutantHart::new(MEM, scenario)))
+            .unwrap()
+            .report;
         assert!(
             report.is_clean(),
             "{} diverged without its trigger:\n{report}",
             scenario.id()
         );
-        assert_eq!(report.dut, dut.name());
+        assert_eq!(report.dut, MutantHart::new(MEM, scenario).name());
     }
 }

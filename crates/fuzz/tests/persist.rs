@@ -143,48 +143,48 @@ fn truncation_and_corruption_salvage_the_rest() {
 #[test]
 fn resume_through_the_file_is_bit_identical() {
     let full_budget = 4_000;
-    let mut uninterrupted = Campaign::new(config(0xF00D, full_budget));
-    let mut dut = Hart::new(MEM);
-    let want = uninterrupted.run(&mut dut);
+    let want = CampaignDriver::new(config(0xF00D, full_budget))
+        .run(|_| Ok(Hart::new(MEM)))
+        .unwrap();
 
     // First half, frozen to disk.
-    let mut first = Campaign::new(config(0xF00D, full_budget / 2));
-    let mut dut = Hart::new(MEM);
-    let half_report = first.run(&mut dut);
     let path = temp_path("resume.tfc");
-    persist::save_campaign(
-        &path,
-        first.corpus().entries(),
-        &first.checkpoint(&half_report),
-    )
-    .unwrap();
+    let _ = std::fs::remove_file(&path);
+    let first = CampaignDriver::new(config(0xF00D, full_budget / 2))
+        .with_corpus(&path)
+        .run(|_| Ok(Hart::new(MEM)))
+        .unwrap();
+    first.save().unwrap().expect("persistent outcome saves");
 
-    // Second half, thawed from disk.
+    // The checkpoint round-trips through the file exactly.
     let loaded = persist::load_file(&path).unwrap();
     let checkpoint = loaded.checkpoint.expect("checkpoint was saved");
     assert_eq!(
-        checkpoint,
-        first.checkpoint(&half_report),
+        &checkpoint,
+        first.checkpoint(),
         "the checkpoint must round-trip through the file exactly"
     );
-    let mut second =
-        Campaign::restore(config(0xF00D, full_budget), &checkpoint, &loaded.entries).unwrap();
-    let mut dut = Hart::new(MEM);
-    let got = second.resume(&mut dut, checkpoint.report.clone());
 
-    assert_eq!(got, want, "file-mediated resume must be bit-identical");
-    assert_eq!(second.corpus().entries(), uninterrupted.corpus().entries());
+    // Second half, thawed from disk.
+    let got = CampaignDriver::new(config(0xF00D, full_budget))
+        .with_corpus(&path)
+        .with_resume(true)
+        .run(|_| Ok(Hart::new(MEM)))
+        .unwrap();
+    assert_eq!(
+        got.report, want.report,
+        "file-mediated resume must be bit-identical"
+    );
+    assert_eq!(got.corpus, want.corpus);
 
     // A mismatched config is rejected at restore, not discovered later.
-    let loaded = persist::load_file(&path).unwrap();
-    let checkpoint = loaded.checkpoint.unwrap();
+    let rejected = CampaignDriver::new(config(0xF00D, full_budget).with_program_len(16))
+        .with_corpus(&path)
+        .with_resume(true)
+        .run(|_| Ok(Hart::new(MEM)));
     assert!(matches!(
-        Campaign::restore(
-            config(0xF00D, full_budget).with_program_len(16),
-            &checkpoint,
-            &loaded.entries,
-        ),
-        Err(RestoreError::ConfigMismatch { .. })
+        rejected,
+        Err(DriveError::Restore(RestoreError::ConfigMismatch { .. }))
     ));
 
     std::fs::remove_file(&path).unwrap();
@@ -198,36 +198,38 @@ fn resume_through_the_file_is_bit_identical() {
 fn resume_through_the_file_is_bit_identical_under_a_feedback_schedule() {
     let schedule_config = |budget: u64| config(0xFA57, budget).with_schedule(PowerSchedule::Fast);
     let full_budget = 4_000;
-    let mut uninterrupted = Campaign::new(schedule_config(full_budget));
-    let mut dut = Hart::new(MEM);
-    let want = uninterrupted.run(&mut dut);
+    let want = CampaignDriver::new(schedule_config(full_budget))
+        .run(|_| Ok(Hart::new(MEM)))
+        .unwrap();
 
-    let mut first = Campaign::new(schedule_config(full_budget / 2));
-    let mut dut = Hart::new(MEM);
-    let half_report = first.run(&mut dut);
     let path = temp_path("resume-fast.tfc");
-    persist::save_campaign(
-        &path,
-        first.corpus().entries(),
-        &first.checkpoint(&half_report),
-    )
-    .unwrap();
+    let _ = std::fs::remove_file(&path);
+    let first = CampaignDriver::new(schedule_config(full_budget / 2))
+        .with_corpus(&path)
+        .run(|_| Ok(Hart::new(MEM)))
+        .unwrap();
+    first.save().unwrap().expect("persistent outcome saves");
 
-    let loaded = persist::load_file(&path).unwrap();
-    let checkpoint = loaded.checkpoint.expect("checkpoint was saved");
-    let mut second =
-        Campaign::restore(schedule_config(full_budget), &checkpoint, &loaded.entries).unwrap();
-    let mut dut = Hart::new(MEM);
-    let got = second.resume(&mut dut, checkpoint.report.clone());
-
-    assert_eq!(got, want, "feedback-schedule resume must be bit-identical");
-    assert_eq!(second.corpus().entries(), uninterrupted.corpus().entries());
+    let got = CampaignDriver::new(schedule_config(full_budget))
+        .with_corpus(&path)
+        .with_resume(true)
+        .run(|_| Ok(Hart::new(MEM)))
+        .unwrap();
+    assert_eq!(
+        got.report, want.report,
+        "feedback-schedule resume must be bit-identical"
+    );
+    assert_eq!(got.corpus, want.corpus);
 
     // The same checkpoint under a different schedule is a config
     // mismatch, caught at restore.
+    let rejected = CampaignDriver::new(config(0xFA57, full_budget))
+        .with_corpus(&path)
+        .with_resume(true)
+        .run(|_| Ok(Hart::new(MEM)));
     assert!(matches!(
-        Campaign::restore(config(0xFA57, full_budget), &checkpoint, &loaded.entries),
-        Err(RestoreError::ConfigMismatch { .. })
+        rejected,
+        Err(DriveError::Restore(RestoreError::ConfigMismatch { .. }))
     ));
 
     std::fs::remove_file(&path).unwrap();
@@ -257,20 +259,30 @@ fn merge_entries_dedups_by_coverage_key() {
 /// it.
 #[test]
 fn cross_run_seeding_carries_coverage_forward() {
-    let mut donor = Campaign::new(config(21, 2_000));
-    let mut dut = Hart::new(MEM);
-    let donor_report = donor.run(&mut dut);
     let path = temp_path("cross-run.tfc");
-    donor.corpus().save(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    let donor = CampaignDriver::new(config(21, 2_000))
+        .with_corpus(&path)
+        .run(|_| Ok(Hart::new(MEM)))
+        .unwrap();
+    donor.save().unwrap().expect("persistent outcome saves");
 
-    let (loaded, _) = Corpus::load(&path, 0).unwrap();
-    let mut receiver = Campaign::new(config(22, 2_000));
-    let admitted = receiver.prime(loaded.entries());
-    assert_eq!(admitted, donor_report.corpus_size);
-    let mut dut = Hart::new(MEM);
-    let report = receiver.run(&mut dut);
+    // A fresh (non-resume) campaign over the same file primes every
+    // donor seed; the admission count surfaces through the event sink.
+    let mut primed = None;
+    let mut sink = |event: &CampaignEvent| {
+        if let CampaignEvent::CorpusPrimed { admitted } = event {
+            primed = Some(*admitted);
+        }
+    };
+    let receiver = CampaignDriver::new(config(22, 2_000))
+        .with_corpus(&path)
+        .with_event_sink(&mut sink)
+        .run(|_| Ok(Hart::new(MEM)))
+        .unwrap();
+    assert_eq!(primed, Some(donor.report.corpus_size));
     assert!(
-        report.unique_traces > donor_report.unique_traces,
+        receiver.report.unique_traces > donor.report.unique_traces,
         "the receiving campaign builds on the donor's coverage"
     );
     std::fs::remove_file(&path).unwrap();

@@ -1,4 +1,4 @@
-//! Sharded-campaign integration tests: merge algebra, fingerprint
+//! Coordinated-campaign integration tests: merge algebra, fingerprint
 //! deduplication, per-worker determinism, the jobs=1 identity, and the
 //! worker-corpus merge that feeds corpus persistence.
 
@@ -18,10 +18,14 @@ fn config(seed: u64, budget: u64) -> CampaignConfig {
 /// A report with at least one divergence, from a mutant campaign of the
 /// given budget.
 fn divergent_report(seed: u64, scenario: BugScenario, budget: u64) -> CampaignReport {
-    let mut dut = MutantHart::new(MEM, scenario);
-    let report = Campaign::new(config(seed, budget)).run(&mut dut);
-    assert!(!report.is_clean(), "campaign produced no divergence");
-    report
+    let outcome = CampaignDriver::new(config(seed, budget))
+        .run(|_| Ok(MutantHart::new(MEM, scenario)))
+        .unwrap();
+    assert!(
+        !outcome.report.is_clean(),
+        "campaign produced no divergence"
+    );
+    outcome.report
 }
 
 #[test]
@@ -88,35 +92,60 @@ fn merge_deduplicates_findings_by_fingerprint() {
 }
 
 #[test]
-fn jobs_one_is_bit_identical_to_the_single_threaded_campaign() {
+fn jobs_one_reports_the_single_worker_verbatim() {
     let config = config(0xF00D, 2_000);
-    let mut dut = Hart::new(MEM);
-    let single = Campaign::new(config.clone()).run(&mut dut);
-    let sharded = run_sharded(&config, 1, |_| Hart::new(MEM));
-    assert_eq!(sharded.merged, single);
-    assert_eq!(sharded.workers.len(), 1);
-    assert_eq!(sharded.workers[0].report, single);
-    assert_eq!(sharded.workers[0].seed, config.seed);
+    let outcome = CampaignDriver::new(config.clone())
+        .run(|_| Ok(Hart::new(MEM)))
+        .unwrap();
+    assert_eq!(outcome.workers.len(), 1);
+    assert_eq!(outcome.workers[0].report, outcome.report);
+    assert_eq!(outcome.workers[0].seed, config.seed);
+    assert_eq!(outcome.foreign_admitted, 0, "echo broadcasts admit nothing");
+    // Live sharing is a no-op with one worker: any sync cadence lands on
+    // the same report and corpus.
+    let whole = CampaignDriver::new(config)
+        .with_sync_every(0)
+        .run(|_| Ok(Hart::new(MEM)))
+        .unwrap();
+    assert_eq!(outcome.report, whole.report);
+    assert_eq!(outcome.corpus, whole.corpus);
 }
 
 #[test]
 fn workers_are_deterministic_regardless_of_scheduling_and_job_count() {
     let config = config(0xBEEF, 4_000);
-    let first = run_sharded(&config, 4, |_| Hart::new(MEM));
-    let second = run_sharded(&config, 4, |_| Hart::new(MEM));
-    assert_eq!(first.merged, second.merged, "sharded run not reproducible");
+    let run = || {
+        CampaignDriver::new(config.clone())
+            .with_jobs(4)
+            .run(|_| Ok(Hart::new(MEM)))
+            .unwrap()
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(
+        first.report, second.report,
+        "coordinated run not reproducible"
+    );
     assert_eq!(first.workers, second.workers);
+    assert_eq!(first.corpus, second.corpus);
 
-    // Every worker's report equals a standalone campaign run from its
-    // shard config: worker results depend only on (master seed, index,
-    // budget slice), never on what the sibling threads did.
-    for worker in &first.workers {
+    // With live sharing disabled every worker's report equals a
+    // standalone campaign run from its shard config: worker results then
+    // depend only on (master seed, index, budget slice), never on what
+    // the sibling threads did.
+    let independent = CampaignDriver::new(config.clone())
+        .with_jobs(4)
+        .with_sync_every(0)
+        .run(|_| Ok(Hart::new(MEM)))
+        .unwrap();
+    for worker in &independent.workers {
         let worker_config = shard_config(&config, 4, worker.worker);
         assert_eq!(worker.seed, worker_config.seed);
-        let mut dut = Hart::new(MEM);
-        let standalone = Campaign::new(worker_config).run(&mut dut);
+        let standalone = CampaignDriver::new(worker_config)
+            .run(|_| Ok(Hart::new(MEM)))
+            .unwrap();
         assert_eq!(
-            worker.report, standalone,
+            worker.report, standalone.report,
             "worker {} diverged from its standalone replay",
             worker.worker
         );
@@ -126,16 +155,17 @@ fn workers_are_deterministic_regardless_of_scheduling_and_job_count() {
 #[test]
 fn sharded_mutant_campaign_detects_and_deduplicates_the_bug() {
     let config = config(7, 8_000);
-    let sharded = run_sharded(&config, 4, |_| {
-        MutantHart::new(MEM, BugScenario::B2ReservedRounding)
-    });
+    let outcome = CampaignDriver::new(config)
+        .with_jobs(4)
+        .run(|_| Ok(MutantHart::new(MEM, BugScenario::B2ReservedRounding)))
+        .unwrap();
     assert!(
-        !sharded.merged.is_clean(),
-        "b2 went undetected across 4 workers:\n{sharded}"
+        !outcome.report.is_clean(),
+        "b2 went undetected across 4 workers:\n{outcome}"
     );
     // Dedup holds across the merged view.
-    let mut fingerprints: Vec<u64> = sharded
-        .merged
+    let mut fingerprints: Vec<u64> = outcome
+        .report
         .divergences
         .iter()
         .map(Divergence::fingerprint)
@@ -149,42 +179,53 @@ fn sharded_mutant_campaign_detects_and_deduplicates_the_bug() {
         "duplicate fingerprints survived"
     );
     // Coverage is the union, never more than the per-worker sum.
-    let summed: usize = sharded.workers.iter().map(|w| w.report.unique_traces).sum();
-    assert!(sharded.merged.unique_traces <= summed);
-    assert!(sharded.merged.unique_traces > 0);
+    let summed: usize = outcome.workers.iter().map(|w| w.report.unique_traces).sum();
+    assert!(outcome.report.unique_traces <= summed);
+    assert!(outcome.report.unique_traces > 0);
 }
 
 #[test]
 fn worker_corpora_are_merged_into_the_report_not_dropped() {
     let config = config(5, 6_000);
-    let sharded = run_sharded(&config, 3, |_| Hart::new(MEM));
+    let outcome = CampaignDriver::new(config.clone())
+        .with_jobs(3)
+        .run(|_| Ok(Hart::new(MEM)))
+        .unwrap();
     assert!(
-        !sharded.corpus.is_empty(),
+        !outcome.corpus.is_empty(),
         "worker corpora must survive the merge"
     );
     // The merged corpus is deduped by coverage key and its size is what
     // the merged report advertises.
-    let keys: HashSet<(u64, u64)> = sharded.corpus.iter().map(SeedEntry::coverage_key).collect();
-    assert_eq!(keys.len(), sharded.corpus.len(), "duplicate keys survived");
-    assert_eq!(sharded.merged.corpus_size, sharded.corpus.len());
+    let keys: HashSet<(u64, u64)> = outcome.corpus.iter().map(SeedEntry::coverage_key).collect();
+    assert_eq!(keys.len(), outcome.corpus.len(), "duplicate keys survived");
+    assert_eq!(outcome.report.corpus_size, outcome.corpus.len());
     // Every entry came from some worker; the union covers every worker's
     // coverage-earning traces.
-    let summed: usize = sharded.workers.iter().map(|w| w.report.corpus_size).sum();
-    assert!(sharded.corpus.len() <= summed);
-    // With jobs=1 the merged corpus is exactly the single campaign's.
-    let single_shard = run_sharded(&config, 1, |_| Hart::new(MEM));
-    let mut dut = Hart::new(MEM);
-    let mut campaign = Campaign::new(config);
-    campaign.run(&mut dut);
-    assert_eq!(single_shard.corpus, campaign.corpus().entries());
+    let summed: usize = outcome.workers.iter().map(|w| w.report.corpus_size).sum();
+    assert!(outcome.corpus.len() <= summed);
+    // With jobs=1 the merged corpus is exactly the single worker's: its
+    // advertised corpus size matches the global corpus.
+    let single = CampaignDriver::new(config)
+        .run(|_| Ok(Hart::new(MEM)))
+        .unwrap();
+    assert_eq!(single.report.corpus_size, single.corpus.len());
+    assert_eq!(single.workers[0].report.corpus_size, single.corpus.len());
 }
 
 #[test]
 fn seeded_sharded_runs_build_on_donor_corpora() {
-    let donor = run_sharded(&config(31, 3_000), 2, |_| Hart::new(MEM));
-    let receiver = run_sharded_seeded(&config(32, 3_000), 2, &donor.corpus, |_| Hart::new(MEM));
+    let donor = CampaignDriver::new(config(31, 3_000))
+        .with_jobs(2)
+        .run(|_| Ok(Hart::new(MEM)))
+        .unwrap();
+    let receiver = CampaignDriver::new(config(32, 3_000))
+        .with_jobs(2)
+        .with_seeds(donor.corpus.clone())
+        .run(|_| Ok(Hart::new(MEM)))
+        .unwrap();
     assert!(
-        receiver.merged.unique_traces > donor.merged.unique_traces,
+        receiver.report.unique_traces > donor.report.unique_traces,
         "seeding must carry the donor's coverage forward"
     );
     // Donor seeds are admitted into the receiver's merged corpus.
@@ -204,13 +245,16 @@ fn seeded_sharded_runs_build_on_donor_corpora() {
 #[test]
 fn sharded_reference_campaign_stays_clean() {
     let config = config(21, 6_000);
-    let sharded = run_sharded(&config, 3, |_| Hart::new(MEM));
+    let outcome = CampaignDriver::new(config)
+        .with_jobs(3)
+        .run(|_| Ok(Hart::new(MEM)))
+        .unwrap();
     assert!(
-        sharded.merged.is_clean(),
-        "reference vs reference diverged:\n{sharded}"
+        outcome.report.is_clean(),
+        "reference vs reference diverged:\n{outcome}"
     );
-    assert!(sharded.merged.instructions_generated >= 6_000);
-    let report = sharded.to_string();
+    assert!(outcome.report.instructions_generated >= 6_000);
+    let report = outcome.to_string();
     assert!(report.contains("worker 2:"), "{report}");
     assert!(report.contains("steps/sec aggregate"), "{report}");
 }

@@ -9,6 +9,10 @@
 //! workload and folding every observable into an FNV accumulator; the
 //! test re-runs the workload and requires the identical fold.
 //!
+//! The workload now runs through [`CampaignDriver`] at jobs=1 — whose
+//! bit-identity to the historical single-threaded campaign is exactly
+//! what keeps these frozen fingerprints reachable.
+//!
 //! The corpus fold deliberately covers only the fields that existed
 //! before the format grew calibration metadata — the on-disk bytes
 //! necessarily change with `FORMAT_VERSION`, but the *behavioural*
@@ -32,9 +36,9 @@ fn fold_bytes(mut acc: u64, bytes: &[u8]) -> u64 {
     acc
 }
 
-fn fold_campaign(mut acc: u64, campaign: &Campaign, report: &CampaignReport) -> u64 {
-    acc = fold_bytes(acc, report.to_string().as_bytes());
-    for entry in campaign.corpus().entries() {
+fn fold_campaign(mut acc: u64, outcome: &DriveOutcome) -> u64 {
+    acc = fold_bytes(acc, outcome.report.to_string().as_bytes());
+    for entry in &outcome.corpus {
         acc = fold_u64(acc, entry.program.len() as u64);
         for insn in &entry.program {
             acc = fold_u64(
@@ -59,10 +63,10 @@ fn config(seed: u64, budget: u64) -> CampaignConfig {
 fn clean_fingerprint() -> u64 {
     let mut acc = FNV_OFFSET;
     for seed in 0..100 {
-        let mut campaign = Campaign::new(config(seed, 800));
-        let mut dut = Hart::new(MEM);
-        let report = campaign.run(&mut dut);
-        acc = fold_campaign(acc, &campaign, &report);
+        let outcome = CampaignDriver::new(config(seed, 800))
+            .run(|_| Ok(Hart::new(MEM)))
+            .unwrap();
+        acc = fold_campaign(acc, &outcome);
     }
     acc
 }
@@ -75,10 +79,10 @@ fn mutant_fingerprint() -> u64 {
     for id in ["b2", "imm", "fflags", "csrmask"] {
         let scenario = BugScenario::parse(id).expect("baseline scenario id");
         for seed in 0..10 {
-            let mut campaign = Campaign::new(config(seed, 1_500));
-            let mut dut = MutantHart::new(MEM, scenario);
-            let report = campaign.run(&mut dut);
-            acc = fold_campaign(acc, &campaign, &report);
+            let outcome = CampaignDriver::new(config(seed, 1_500))
+                .run(|_| Ok(MutantHart::new(MEM, scenario)))
+                .unwrap();
+            acc = fold_campaign(acc, &outcome);
         }
     }
     acc

@@ -124,15 +124,21 @@ fn campaign_stdout_is_identical_under_the_native_run_engine() {
         .with_mem_size(MEM)
         .with_max_steps_per_program(MAX_STEPS);
     for jobs in [1, 2] {
-        let native = run_sharded(&config, jobs, |_| Hart::new(MEM));
-        let per_step = run_sharded(&config, jobs, |_| PerStep(Hart::new(MEM)));
+        let native = CampaignDriver::new(config.clone())
+            .with_jobs(jobs)
+            .run(|_| Ok(Hart::new(MEM)))
+            .unwrap();
+        let per_step = CampaignDriver::new(config.clone())
+            .with_jobs(jobs)
+            .run(|_| Ok(PerStep(Hart::new(MEM))))
+            .unwrap();
         assert_eq!(
-            native.merged.to_string(),
-            per_step.merged.to_string(),
+            native.report.to_string(),
+            per_step.report.to_string(),
             "campaign stdout drifted under the native engine (jobs {jobs})"
         );
         assert_eq!(
-            native.merged, per_step.merged,
+            native.report, per_step.report,
             "merged reports (jobs {jobs})"
         );
         assert_eq!(
@@ -143,11 +149,17 @@ fn campaign_stdout_is_identical_under_the_native_run_engine() {
         // reference must render the same divergence text as against the
         // per-step reference.
         for scenario in BugScenario::ALL {
-            let native = run_sharded(&config, jobs, |_| MutantHart::new(MEM, scenario));
-            let per_step = run_sharded(&config, jobs, |_| PerStep(MutantHart::new(MEM, scenario)));
+            let native = CampaignDriver::new(config.clone())
+                .with_jobs(jobs)
+                .run(|_| Ok(MutantHart::new(MEM, scenario)))
+                .unwrap();
+            let per_step = CampaignDriver::new(config.clone())
+                .with_jobs(jobs)
+                .run(|_| Ok(PerStep(MutantHart::new(MEM, scenario))))
+                .unwrap();
             assert_eq!(
-                native.merged.to_string(),
-                per_step.merged.to_string(),
+                native.report.to_string(),
+                per_step.report.to_string(),
                 "{} campaign stdout drifted (jobs {jobs})",
                 scenario.id()
             );
